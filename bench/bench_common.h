@@ -1,0 +1,26 @@
+// Shared plumbing for the experiment harnesses.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace nowsched::bench {
+
+/// Where CSV series land (next to the binary unless --outdir is given).
+inline std::string csv_path(const util::Flags& flags, const std::string& name) {
+  const std::string dir = flags.get("outdir", "bench_results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir + "/" + name;
+}
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::cout << "=== " << id << " — " << what << " ===\n";
+}
+
+}  // namespace nowsched::bench

@@ -1,0 +1,74 @@
+// E3 — §3.1 non-adaptive guideline analysis.
+//
+// Sweeps U/c and p; for each point reports
+//   * the guideline's measured guaranteed work (exact best-response DP under
+//     the §2.2 committed-schedule + tail-merge semantics),
+//   * the corrected closed form  U − 2√(pcU) + pc,
+//   * the OCR reading            U − √(2pcU) + pc   (shown to over-promise),
+//   * the exhaustive best equal-period count vs the guideline's ⌊√(pU/c)⌋.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+#include "core/guidelines.h"
+#include "solver/nonadaptive_eval.h"
+#include "solver/nonadaptive_opt.h"
+
+using namespace nowsched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const Params params{flags.get_int("c", 16)};
+  const double c = static_cast<double>(params.c);
+  const int max_p = static_cast<int>(flags.get_int("max_p", 8));
+
+  bench::print_header("E3 / §3.1", "non-adaptive guideline vs closed form");
+  util::CsvWriter csv(bench::csv_path(flags, "nonadaptive.csv"),
+                      {"U_over_c", "p", "m_guideline", "m_best", "W_guideline",
+                       "W_best_equal", "formula_corrected", "formula_ocr"});
+
+  util::Table out({"U/c", "p", "m gd", "m best", "W gd", "W best", "W freeform",
+                   "U−2√(pcU)+pc", "U−√(2pcU)+pc", "gd/corr"});
+
+  for (Ticks ratio : {Ticks{64}, Ticks{256}, Ticks{1024}, Ticks{4096}, Ticks{16384}}) {
+    const Ticks u = ratio * params.c;
+    const double ud = static_cast<double>(u);
+    for (int p = 1; p <= max_p; p *= 2) {
+      const auto sched = nonadaptive_guideline(u, p, params);
+      const Ticks w = solver::nonadaptive_guaranteed_work(sched, u, p, params);
+      const auto search = solver::best_equal_period_count(u, p, params);
+      // Free-form local search over ALL committed schedules — probes the
+      // "cannot be improved" claim beyond the equal-period family.
+      const auto freeform = solver::optimize_committed(u, p, params);
+      const double corrected = bounds::nonadaptive_work(ud, p, c);
+      const double ocr = bounds::nonadaptive_work_ocr(ud, p, c);
+      out.add_row({util::Table::fmt(static_cast<long long>(ratio)),
+                   util::Table::fmt(static_cast<long long>(p)),
+                   util::Table::fmt(static_cast<long long>(sched.size())),
+                   util::Table::fmt(static_cast<long long>(search.best_m)),
+                   util::Table::fmt(static_cast<long long>(w)),
+                   util::Table::fmt(static_cast<long long>(search.best_value)),
+                   util::Table::fmt(static_cast<long long>(freeform.value)),
+                   util::Table::fmt(corrected, 6), util::Table::fmt(ocr, 6),
+                   util::Table::fmt(corrected > 0 ? static_cast<double>(w) / corrected
+                                                  : 0.0,
+                                    4)});
+      csv.write_row({static_cast<double>(ratio), static_cast<double>(p),
+                     static_cast<double>(sched.size()), static_cast<double>(search.best_m),
+                     static_cast<double>(w), static_cast<double>(search.best_value),
+                     corrected, ocr});
+    }
+    out.add_rule();
+  }
+  out.print(std::cout, "\nNon-adaptive guideline S_na(p)[U], c = " +
+                           std::to_string(params.c) + " ticks");
+  std::cout <<
+      "\nShape checks (EXPERIMENTS.md E3):\n"
+      "  * measured W matches U − 2√(pcU) + pc (ratio column → 1), NOT the OCR\n"
+      "    reading U − √(2pcU) + pc, which exceeds every measured value;\n"
+      "  * the guideline m = ⌊√(pU/c)⌋ matches the exhaustive best m (wide\n"
+      "    plateau: small deviations cost < c of work).\n";
+  std::cout << "CSV written to " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// P2 — simulator throughput: event engine, single sessions, and farms.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adversary/heuristics.h"
+#include "adversary/stochastic.h"
+#include "core/equalized.h"
+#include "core/guidelines.h"
+#include "sim/farm.h"
+#include "sim/session.h"
+
+using namespace nowsched;
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<Ticks>((i * 2654435761u) % (4 * n)),
+                      [](sim::Simulator&) {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueChurn)->Range(1 << 10, 1 << 16);
+
+void BM_SessionModelOnly(benchmark::State& state) {
+  const AdaptiveGuidelinePolicy policy;
+  adversary::PoissonAdversary owner(500.0, 42);
+  const Opportunity opp{16 * 4096, 4};
+  for (auto _ : state) {
+    owner.reset(42);
+    benchmark::DoNotOptimize(sim::run_session(policy, owner, opp, Params{16}));
+  }
+}
+BENCHMARK(BM_SessionModelOnly);
+
+void BM_SessionWithTaskBag(benchmark::State& state) {
+  const EqualizedGuidelinePolicy policy;
+  adversary::PoissonAdversary owner(500.0, 42);
+  const Opportunity opp{16 * 4096, 4};
+  for (auto _ : state) {
+    owner.reset(42);
+    auto bag = sim::TaskBag::uniform(4096, 13);
+    benchmark::DoNotOptimize(sim::run_session(policy, owner, opp, Params{16}, &bag));
+  }
+}
+BENCHMARK(BM_SessionWithTaskBag);
+
+void BM_FarmScaling(benchmark::State& state) {
+  const auto stations = static_cast<std::size_t>(state.range(0));
+  auto policy = std::make_shared<EqualizedGuidelinePolicy>();
+  for (auto _ : state) {
+    std::vector<sim::WorkstationConfig> cfgs;
+    for (std::size_t i = 0; i < stations; ++i) {
+      sim::WorkstationConfig cfg;
+      cfg.name = "b" + std::to_string(i);
+      cfg.opportunity = Opportunity{16 * 1024, 2};
+      cfg.params = Params{16};
+      cfg.policy = policy;
+      cfg.owner = std::make_shared<adversary::PoissonAdversary>(3000.0, 7 + i);
+      cfgs.push_back(std::move(cfg));
+    }
+    auto bag = sim::TaskBag::uniform(stations * 2048, 11);
+    benchmark::DoNotOptimize(sim::run_farm(cfgs, bag));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stations));
+}
+BENCHMARK(BM_FarmScaling)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_TaskBagPacking(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bag = sim::TaskBag::uniform(1 << 14, 7);
+    while (!bag.done()) {
+      auto batch = bag.take_batch(700);
+      bag.mark_completed(batch);
+    }
+    benchmark::DoNotOptimize(bag.completed_work());
+  }
+}
+BENCHMARK(BM_TaskBagPacking);
+
+}  // namespace
+
+BENCHMARK_MAIN();

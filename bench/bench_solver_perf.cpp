@@ -1,0 +1,94 @@
+// P1 — solver performance: reference O(P·N²) vs fast O(P·N·log N), thread
+// scaling of the block-parallel fast solver and of the policy evaluator.
+#include <benchmark/benchmark.h>
+
+#include "core/equalized.h"
+#include "core/guidelines.h"
+#include "solver/fast_solver.h"
+#include "solver/policy_eval.h"
+#include "solver/reference_solver.h"
+#include "util/thread_pool.h"
+
+using namespace nowsched;
+
+namespace {
+
+void BM_ReferenceSolver(benchmark::State& state) {
+  const auto max_l = static_cast<Ticks>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_reference(2, max_l, Params{16}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReferenceSolver)->Range(1 << 8, 1 << 12)->Complexity(benchmark::oNSquared);
+
+void BM_FastSolver(benchmark::State& state) {
+  const auto max_l = static_cast<Ticks>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_fast(2, max_l, Params{16}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FastSolver)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oNLogN);
+
+void BM_FastSolverHighP(benchmark::State& state) {
+  const auto p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_fast(p, 1 << 15, Params{16}));
+  }
+}
+BENCHMARK(BM_FastSolverHighP)->DenseRange(1, 8);
+
+void BM_FastSolverParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(threads);
+  // Large c engages the block-parallel path (blocks of c lifespans).
+  const Params params{1024};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_fast(3, 1 << 18, params, &pool));
+  }
+}
+BENCHMARK(BM_FastSolverParallel)->RangeMultiplier(2)->Range(1, 4)->UseRealTime();
+
+void BM_PolicyEvalEqualized(benchmark::State& state) {
+  const auto max_l = static_cast<Ticks>(state.range(0));
+  const EqualizedGuidelinePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver::evaluate_policy_grid(policy, max_l, 2, Params{16}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PolicyEvalEqualized)->Range(1 << 9, 1 << 13);
+
+void BM_PolicyEvalParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(threads);
+  const AdaptiveGuidelinePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver::evaluate_policy_grid(policy, 1 << 13, 3, Params{16}, &pool));
+  }
+}
+BENCHMARK(BM_PolicyEvalParallel)->RangeMultiplier(2)->Range(1, 4)->UseRealTime();
+
+void BM_EqualizedEpisodeConstruction(benchmark::State& state) {
+  const auto p = static_cast<int>(state.range(0));
+  Ticks l = 16 * 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equalized_episode(l, p, Params{16}));
+  }
+}
+BENCHMARK(BM_EqualizedEpisodeConstruction)->DenseRange(1, 6);
+
+void BM_PrintedGuidelineConstruction(benchmark::State& state) {
+  const auto p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adaptive_episode_guideline(16 * 4096, p, Params{16}));
+  }
+}
+BENCHMARK(BM_PrintedGuidelineConstruction)->DenseRange(1, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// nowsched — command-line driver over the whole library.
+//
+//   nowsched_cli schedule --u=32768 --p=2 --c=16 --policy=equalized
+//   nowsched_cli solve    --u=32768 --p=3 --c=16
+//   nowsched_cli evaluate --u=32768 --p=2 --policy=adaptive
+//   nowsched_cli simulate --u=32768 --p=2 --policy=equalized --owner=pareto --trials=10
+//   nowsched_cli sweep    --p=2 --policy=equalized --csv=sweep.csv
+//
+// Policies: equalized | adaptive | adaptive-rationalized | nonadaptive |
+//           single-block | fixed-chunk:<mult> | geometric
+// Owners:   poisson:<mean-gap> | pareto:<scale> | uniform:<prob> | none
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "nowsched.h"
+
+using namespace nowsched;
+
+namespace {
+
+PolicyPtr make_policy(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const double arg = colon == std::string::npos
+                         ? 0.0
+                         : std::strtod(spec.c_str() + colon + 1, nullptr);
+  if (kind == "equalized") return std::make_shared<EqualizedGuidelinePolicy>();
+  if (kind == "adaptive") return std::make_shared<AdaptiveGuidelinePolicy>();
+  if (kind == "adaptive-rationalized") {
+    return std::make_shared<AdaptiveGuidelinePolicy>(PivotRule::kRationalized);
+  }
+  if (kind == "nonadaptive") return std::make_shared<NonAdaptiveGuidelinePolicy>();
+  if (kind == "single-block") return std::make_shared<SingleBlockPolicy>();
+  if (kind == "fixed-chunk") {
+    return std::make_shared<FixedChunkPolicy>(arg > 0.0 ? arg : 8.0);
+  }
+  if (kind == "geometric") return std::make_shared<GeometricPolicy>(2.0, 2.0);
+  throw std::invalid_argument("unknown policy '" + spec + "'");
+}
+
+std::unique_ptr<adversary::Adversary> make_owner(const std::string& spec, Ticks u,
+                                                 std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const double arg = colon == std::string::npos
+                         ? 0.0
+                         : std::strtod(spec.c_str() + colon + 1, nullptr);
+  if (kind == "none") return std::make_unique<adversary::NoOpAdversary>();
+  if (kind == "poisson") {
+    return std::make_unique<adversary::PoissonAdversary>(
+        arg > 0.0 ? arg : static_cast<double>(u) / 4.0, seed);
+  }
+  if (kind == "pareto") {
+    return std::make_unique<adversary::ParetoSessionAdversary>(
+        arg > 0.0 ? arg : static_cast<double>(u) / 8.0, 1.3, seed);
+  }
+  if (kind == "uniform") {
+    return std::make_unique<adversary::UniformEpisodeAdversary>(
+        arg > 0.0 ? arg : 0.4, seed);
+  }
+  throw std::invalid_argument("unknown owner '" + spec + "'");
+}
+
+int cmd_schedule(const util::Flags& flags, Ticks u, int p, const Params& params) {
+  const auto policy = make_policy(flags.get("policy", "equalized"));
+  const auto episode = policy->episode(u, p, params);
+  std::cout << policy->name() << " episode for (U=" << u << ", p=" << p
+            << ", c=" << params.c << "):\n  " << episode.to_string() << "\n  "
+            << analyze(episode, params).to_string() << "\n";
+  if (p >= 1) {
+    std::cout << "  p=1 kill-option spread (early periods): "
+              << equalization_spread_p1(episode, u, params) << " ticks\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const util::Flags& flags, Ticks u, int p, const Params& params) {
+  const auto table = solver::solve_fast(p, u, params);
+  util::Table out({"q", "W(q)[U]", "deficit", "deficit/sqrt(2cU)", "a_q exact"});
+  const double scale =
+      std::sqrt(2.0 * static_cast<double>(params.c) * static_cast<double>(u));
+  for (int q = 0; q <= p; ++q) {
+    const Ticks w = table.value(q, u);
+    out.add_row({util::Table::fmt(static_cast<long long>(q)),
+                 util::Table::fmt(static_cast<long long>(w)),
+                 util::Table::fmt(static_cast<long long>(u - w)),
+                 util::Table::fmt(static_cast<double>(u - w) / scale, 4),
+                 util::Table::fmt(bounds::optimal_deficit_coefficient(q), 4)});
+  }
+  out.print(std::cout, "exact guaranteed-work optimum, U=" + std::to_string(u));
+  std::cout << "optimal first episode: "
+            << solver::extract_episode(table, p, u).to_string() << "\n";
+  (void)flags;
+  return 0;
+}
+
+int cmd_evaluate(const util::Flags& flags, Ticks u, int p, const Params& params) {
+  const auto policy = make_policy(flags.get("policy", "equalized"));
+  const auto br = solver::best_response(*policy, u, p, params);
+  std::cout << policy->name() << " guarantees " << br.value << " of " << u
+            << " ticks (U-deficit " << (u - br.value) << ")\n"
+            << "worst-case owner play:\n";
+  for (const auto& move : br.moves) {
+    std::cout << "  residual " << move.episode_lifespan << ", q="
+              << move.interrupts_left << ": ";
+    if (move.killed) {
+      std::cout << "kill period " << (*move.killed + 1) << " (banked " << move.banked
+                << ")\n";
+    } else {
+      std::cout << "episode completes (banked " << move.banked << ")\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_simulate(const util::Flags& flags, Ticks u, int p, const Params& params) {
+  const auto policy = make_policy(flags.get("policy", "equalized"));
+  const std::string owner_spec = flags.get("owner", "poisson");
+  const auto trials = static_cast<int>(flags.get_int("trials", 1));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  util::Accumulator acc;
+  sim::SessionMetrics last;
+  for (int t = 0; t < trials; ++t) {
+    auto owner = make_owner(owner_spec, u, seed + static_cast<std::uint64_t>(t));
+    last = sim::run_session(*policy, *owner, Opportunity{u, p}, params);
+    acc.add(static_cast<double>(last.banked_work));
+  }
+  std::cout << policy->name() << " vs " << owner_spec << " (" << trials
+            << " trials):\n  last session: " << last.to_string() << "\n  banked work: "
+            << "mean=" << acc.mean() << " min=" << acc.min() << " max=" << acc.max()
+            << "\n  minimax floor: " << solver::evaluate_policy(*policy, u, p, params)
+            << "\n";
+  return 0;
+}
+
+int cmd_sweep(const util::Flags& flags, int p, const Params& params) {
+  const auto policy = make_policy(flags.get("policy", "equalized"));
+  std::unique_ptr<util::CsvWriter> csv;
+  if (flags.has("csv")) {
+    csv = std::make_unique<util::CsvWriter>(
+        flags.get("csv", "sweep.csv"),
+        std::vector<std::string>{"U_over_c", "guaranteed", "optimal", "pct"});
+  }
+  util::Table out({"U/c", "guaranteed", "optimal", "% of optimal"});
+  for (Ticks ratio = 32; ratio <= 8192; ratio *= 2) {
+    const Ticks u = ratio * params.c;
+    const Ticks w = solver::evaluate_policy(*policy, u, p, params);
+    const auto table = solver::solve_fast(p, u, params);
+    const Ticks opt = table.value(p, u);
+    const double pct =
+        opt > 0 ? 100.0 * static_cast<double>(w) / static_cast<double>(opt) : 0.0;
+    out.add_row({util::Table::fmt(static_cast<long long>(ratio)),
+                 util::Table::fmt(static_cast<long long>(w)),
+                 util::Table::fmt(static_cast<long long>(opt)),
+                 util::Table::fmt(pct, 4)});
+    if (csv) {
+      csv->write_row({static_cast<double>(ratio), static_cast<double>(w),
+                      static_cast<double>(opt), pct});
+    }
+  }
+  out.print(std::cout,
+            policy->name() + " across lifespans, p=" + std::to_string(p));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const Params params{flags.get_int("c", 16)};
+  const Ticks u = flags.get_int("u", 16 * 2048);
+  const int p = static_cast<int>(flags.get_int("p", 2));
+
+  const std::string cmd =
+      flags.positionals().empty() ? "help" : flags.positionals().front();
+  try {
+    if (cmd == "schedule") return cmd_schedule(flags, u, p, params);
+    if (cmd == "solve") return cmd_solve(flags, u, p, params);
+    if (cmd == "evaluate") return cmd_evaluate(flags, u, p, params);
+    if (cmd == "simulate") return cmd_simulate(flags, u, p, params);
+    if (cmd == "sweep") return cmd_sweep(flags, p, params);
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+  std::cout <<
+      "nowsched CLI — cycle-stealing schedules with guaranteed output\n"
+      "usage: nowsched_cli <command> [--u=N] [--p=N] [--c=N] ...\n"
+      "commands:\n"
+      "  schedule  print a policy's episode and diagnostics\n"
+      "            [--policy=equalized|adaptive|adaptive-rationalized|\n"
+      "             nonadaptive|single-block|fixed-chunk:<mult>|geometric]\n"
+      "  solve     exact optimum W(q)[U] for q = 0..p, optimal episode\n"
+      "  evaluate  a policy's guaranteed work + the worst-case owner play\n"
+      "  simulate  run sessions against a stochastic owner\n"
+      "            [--owner=poisson[:gap]|pareto[:scale]|uniform[:prob]|none]\n"
+      "            [--trials=N] [--seed=N]\n"
+      "  sweep     guaranteed-vs-optimal across lifespans [--csv=out.csv]\n";
+  return cmd == "help" ? 0 : 1;
+}

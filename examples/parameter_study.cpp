@@ -1,0 +1,74 @@
+// Parameter study: practical scheduling guidance tables.
+//
+// For an operator who knows their setup cost c, contract length U, and
+// interrupt allowance p, this prints: how many periods to use, how long the
+// first/last periods should be, what work is guaranteed, and what fraction
+// of the raw lifespan the draconian contract costs.
+//
+//   ./parameter_study --c=16 --max_p=4 --csv=study.csv
+#include <cmath>
+#include <iostream>
+
+#include "nowsched.h"
+
+using namespace nowsched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const Params params{flags.get_int("c", 16)};
+  const int max_p = static_cast<int>(flags.get_int("max_p", 4));
+  const double c = static_cast<double>(params.c);
+
+  std::cout << "Scheduling guidance for setup cost c = " << params.c << " ticks\n";
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (flags.has("csv")) {
+    csv = std::make_unique<util::CsvWriter>(
+        flags.get("csv", "study.csv"),
+        std::vector<std::string>{"U_over_c", "p", "periods", "first_period_c",
+                                 "last_period_c", "guaranteed", "efficiency_pct"});
+  }
+
+  for (int p = 0; p <= max_p; ++p) {
+    util::Table out({"U/c", "periods", "first t/c", "last t/c", "guaranteed work",
+                     "efficiency %", "overhead %"});
+    for (Ticks ratio : {Ticks{32}, Ticks{128}, Ticks{512}, Ticks{2048}, Ticks{8192}}) {
+      const Ticks u = ratio * params.c;
+      const EqualizedGuidelinePolicy policy;
+      const auto episode = policy.episode(u, p, params);
+      const Ticks guaranteed = solver::evaluate_policy(policy, u, p, params);
+      const double eff =
+          100.0 * static_cast<double>(guaranteed) / static_cast<double>(u);
+      const double overhead =
+          100.0 * static_cast<double>(episode.size()) * c / static_cast<double>(u);
+      out.add_row(
+          {util::Table::fmt(static_cast<long long>(ratio)),
+           util::Table::fmt(static_cast<long long>(episode.size())),
+           util::Table::fmt(static_cast<double>(episode.period(0)) / c, 4),
+           util::Table::fmt(
+               static_cast<double>(episode.period(episode.size() - 1)) / c, 3),
+           util::Table::fmt(static_cast<long long>(guaranteed)),
+           util::Table::fmt(eff, 4), util::Table::fmt(overhead, 3)});
+      if (csv) {
+        csv->write_row({static_cast<double>(ratio), static_cast<double>(p),
+                        static_cast<double>(episode.size()),
+                        static_cast<double>(episode.period(0)) / c,
+                        static_cast<double>(episode.period(episode.size() - 1)) / c,
+                        static_cast<double>(guaranteed), eff});
+      }
+    }
+    out.print(std::cout, "\np = " + std::to_string(p) +
+                             " potential interrupts (equalized guideline)");
+  }
+
+  std::cout <<
+      "\nReading the tables:\n"
+      "  * guaranteed efficiency climbs toward 100% as U/c grows — the\n"
+      "    deficit is only O(sqrt(cU));\n"
+      "  * each extra potential interrupt shaves a further\n"
+      "    (2 − 2^{1−p})·sqrt(2cU) slice off the guarantee (Thm 5.1);\n"
+      "  * first periods grow like sqrt(2cU); final periods stay in the\n"
+      "    (c, 2c] immune band (Thm 4.2).\n";
+  if (csv) std::cout << "CSV written to " << csv->path() << "\n";
+  return 0;
+}

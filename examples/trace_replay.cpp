@@ -1,0 +1,71 @@
+// Trace replay: compare scheduling policies against the SAME owner
+// behaviour, recorded once and replayed for every policy.
+//
+// Demonstrates the record/replay adversary machinery and the guarantee
+// floor: whatever the trace, no policy ever banks less than its minimax
+// guaranteed work.
+//
+//   ./trace_replay --u=32768 --p=3 --sessions=20 --seed=5
+#include <iostream>
+#include <memory>
+
+#include "nowsched.h"
+
+using namespace nowsched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const Params params{flags.get_int("c", 16)};
+  const Ticks u = flags.get_int("u", 16 * 2048);
+  const int p = static_cast<int>(flags.get_int("p", 3));
+  const int sessions = static_cast<int>(flags.get_int("sessions", 20));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+
+  std::vector<std::pair<std::string, PolicyPtr>> policies = {
+      {"single-block", std::make_shared<SingleBlockPolicy>()},
+      {"fixed-chunk-8c", std::make_shared<FixedChunkPolicy>(8.0)},
+      {"geometric-1/2", std::make_shared<GeometricPolicy>(2.0, 2.0)},
+      {"adaptive (§3.2)", std::make_shared<AdaptiveGuidelinePolicy>()},
+      {"equalized (§4.2)", std::make_shared<EqualizedGuidelinePolicy>()},
+  };
+
+  std::cout << "Replaying " << sessions << " recorded owner sessions (U=" << u
+            << ", p=" << p << ", c=" << params.c << ")\n\n";
+
+  // Record owner behaviour once per session using a neutral pilot policy, so
+  // interrupt *times* are identical for every policy under test.
+  std::vector<adversary::InterruptTrace> traces;
+  for (int s = 0; s < sessions; ++s) {
+    adversary::ParetoSessionAdversary owner(static_cast<double>(u) / 8.0, 1.4,
+                                            seed + static_cast<std::uint64_t>(s));
+    adversary::RecordingAdversary recorder(owner);
+    const FixedChunkPolicy pilot(4.0);
+    (void)sim::run_session(pilot, recorder, Opportunity{u, p}, params);
+    traces.push_back(recorder.trace());
+  }
+
+  util::Table out({"policy", "guaranteed", "min banked", "mean banked", "max banked"},
+                  {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                   util::Align::kRight, util::Align::kRight});
+  for (const auto& [name, policy] : policies) {
+    const Ticks guaranteed = solver::evaluate_policy(*policy, u, p, params);
+    util::Accumulator acc;
+    for (const auto& trace : traces) {
+      adversary::TraceAdversary owner{trace};
+      const auto metrics = sim::run_session(*policy, owner, Opportunity{u, p}, params);
+      acc.add(static_cast<double>(metrics.banked_work));
+      if (metrics.banked_work < guaranteed) {
+        std::cout << "!! floor violated by " << name << " — bug\n";
+      }
+    }
+    out.add_row({name, util::Table::fmt(static_cast<long long>(guaranteed)),
+                 util::Table::fmt(acc.min(), 6), util::Table::fmt(acc.mean(), 6),
+                 util::Table::fmt(acc.max(), 6)});
+  }
+  out.print(std::cout, "Banked work across identical owner traces");
+  std::cout << "\nEvery policy's minimum stays at or above its guaranteed column —\n"
+               "the guarantee is a floor over ALL owner behaviours, not a forecast.\n"
+               "Note how the single-block plan collapses on sessions whose owner\n"
+               "returned at all, while the guideline policies degrade gracefully.\n";
+  return 0;
+}

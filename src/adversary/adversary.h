@@ -1,0 +1,44 @@
+// Owner-interrupt models ("adversaries") for the simulator.
+//
+// The paper's game-theoretic adversary is malicious and schedule-aware
+// (§4: "a game against a malicious adversary"); real owners are oblivious
+// stochastic processes. Both implement this interface: at the start of each
+// episode the adversary sees the committed episode-schedule and decides
+// where (if anywhere) inside it the interrupt lands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/schedule.h"
+#include "core/types.h"
+
+namespace nowsched::adversary {
+
+/// Episode-start context visible to the adversary.
+struct EpisodeContext {
+  Ticks episode_start = 0;  ///< absolute opportunity time at episode start
+  Ticks residual = 0;       ///< residual lifespan (== episode total)
+  int interrupts_left = 0;  ///< interrupts the owner may still use
+  Params params;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::string name() const = 0;
+
+  /// 1-based tick in [1, episode.total()] *during* which the owner
+  /// interrupts (consuming that many ticks of lifespan and killing the
+  /// period containing the tick), or nullopt to let the episode run.
+  /// Called only when interrupts_left > 0.
+  virtual std::optional<Ticks> plan_interrupt(const EpisodeSchedule& episode,
+                                              const EpisodeContext& ctx) = 0;
+
+  /// Re-seed / reset internal state before a fresh opportunity.
+  virtual void reset(std::uint64_t /*seed*/) {}
+};
+
+}  // namespace nowsched::adversary

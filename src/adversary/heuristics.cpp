@@ -1,0 +1,49 @@
+#include "adversary/heuristics.h"
+
+namespace nowsched::adversary {
+
+namespace {
+
+/// Last-instant interrupt of 0-based period k: the interrupt lands during
+/// tick T_{k+1}, so the period's work is lost and its full length is spent.
+Ticks last_instant(const EpisodeSchedule& episode, std::size_t k) {
+  return episode.end(k);
+}
+
+}  // namespace
+
+std::optional<Ticks> FirstPeriodAdversary::plan_interrupt(const EpisodeSchedule& episode,
+                                                          const EpisodeContext&) {
+  if (episode.empty()) return std::nullopt;
+  return last_instant(episode, 0);
+}
+
+std::optional<Ticks> LargestPeriodAdversary::plan_interrupt(
+    const EpisodeSchedule& episode, const EpisodeContext&) {
+  if (episode.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < episode.size(); ++k) {
+    if (episode.period(k) > episode.period(best)) best = k;
+  }
+  return last_instant(episode, best);
+}
+
+std::optional<Ticks> ObservationAdversary::plan_interrupt(const EpisodeSchedule& episode,
+                                                          const EpisodeContext& ctx) {
+  // Obs (b) proviso: an episode with residual <= c cannot produce work,
+  // so interrupting it wastes an interrupt.
+  if (episode.empty() || ctx.residual <= ctx.params.c) return std::nullopt;
+  // Obs (c): pick a period beginning before residual − p·c. Choose the
+  // LATEST such period: it wastes the most banked-free lifespan while
+  // respecting the observation's window.
+  const Ticks window =
+      ctx.residual - static_cast<Ticks>(ctx.interrupts_left) * ctx.params.c;
+  std::optional<std::size_t> pick;
+  for (std::size_t k = 0; k < episode.size(); ++k) {
+    if (episode.start(k) < window) pick = k;
+  }
+  if (!pick) pick = 0;  // degenerate window: fall back to the first period
+  return last_instant(episode, *pick);
+}
+
+}  // namespace nowsched::adversary

@@ -1,0 +1,60 @@
+// Interrupt traces: record/replay of owner interruptions in absolute
+// opportunity time. Used to (1) replay the minimax best response inside the
+// simulator and check it reproduces the analytic guaranteed work, and
+// (2) compare policies on identical owner behaviour.
+#pragma once
+
+#include <vector>
+
+#include "adversary/adversary.h"
+
+namespace nowsched::adversary {
+
+/// Absolute opportunity times (1-based ticks) at which the owner interrupts.
+/// Must be strictly increasing.
+class InterruptTrace {
+ public:
+  InterruptTrace() = default;
+  explicit InterruptTrace(std::vector<Ticks> times_abs);
+
+  const std::vector<Ticks>& times() const noexcept { return times_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  void append(Ticks time_abs);
+
+ private:
+  std::vector<Ticks> times_;
+};
+
+/// Replays a trace: fires the next recorded interrupt when it falls inside
+/// the current episode. Interrupts that fall into "dead" time (e.g. the
+/// trace was recorded against a different policy) are skipped.
+class TraceAdversary final : public Adversary {
+ public:
+  explicit TraceAdversary(InterruptTrace trace);
+  std::string name() const override { return "trace-replay"; }
+  std::optional<Ticks> plan_interrupt(const EpisodeSchedule& episode,
+                                      const EpisodeContext& ctx) override;
+  void reset(std::uint64_t seed) override;
+
+ private:
+  InterruptTrace trace_;
+  std::size_t next_ = 0;
+};
+
+/// Records every interrupt another adversary issues (decorator).
+class RecordingAdversary final : public Adversary {
+ public:
+  explicit RecordingAdversary(Adversary& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name() + "+recorded"; }
+  std::optional<Ticks> plan_interrupt(const EpisodeSchedule& episode,
+                                      const EpisodeContext& ctx) override;
+  void reset(std::uint64_t seed) override;
+
+  const InterruptTrace& trace() const noexcept { return trace_; }
+
+ private:
+  Adversary& inner_;
+  InterruptTrace trace_;
+};
+
+}  // namespace nowsched::adversary

@@ -1,0 +1,46 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+namespace nowsched::bounds {
+
+double nonadaptive_work(double lifespan, int p, double c) {
+  const double pd = static_cast<double>(p);
+  return lifespan - 2.0 * std::sqrt(pd * c * lifespan) + pd * c;
+}
+
+double nonadaptive_work_ocr(double lifespan, int p, double c) {
+  const double pd = static_cast<double>(p);
+  return lifespan - std::sqrt(2.0 * pd * c * lifespan) + pd * c;
+}
+
+double adaptive_deficit_coefficient(int p) {
+  return (2.0 - std::pow(2.0, 1.0 - static_cast<double>(p))) * std::sqrt(2.0);
+}
+
+double adaptive_work_leading(double lifespan, int p, double c) {
+  return lifespan - adaptive_deficit_coefficient(p) * std::sqrt(c * lifespan);
+}
+
+double optimal_deficit_coefficient(int p) {
+  double a = 0.0;
+  for (int q = 1; q <= p; ++q) {
+    a = (a + std::sqrt(a * a + 4.0)) / 2.0;
+  }
+  return a;
+}
+
+double optimal_p1_work(double lifespan, double c) {
+  return lifespan - std::sqrt(2.0 * c * lifespan) - c / 2.0;
+}
+
+double optimal_p1_period_count(double lifespan, double c) {
+  const double inner = 2.0 * lifespan / c - 1.75;
+  return inner > 0.0 ? std::sqrt(inner) - 0.5 : 1.0;
+}
+
+nowsched::Ticks zero_work_threshold(int p, nowsched::Ticks c) {
+  return (static_cast<nowsched::Ticks>(p) + 1) * c;
+}
+
+}  // namespace nowsched::bounds

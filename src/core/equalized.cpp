@@ -1,0 +1,122 @@
+#include "core/equalized.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nowsched {
+
+namespace {
+
+double deficit_coefficient(int q) {
+  return 2.0 - std::pow(2.0, 1.0 - static_cast<double>(q));
+}
+
+/// Builds the real-valued period lengths for equalized value `v`, or nullopt
+/// when `v` is too ambitious (some forced period would be unproductive or
+/// the no-interrupt work falls short of v).
+std::optional<std::vector<double>> try_build(double lifespan, int p, double c,
+                                             double v) {
+  std::vector<double> lengths;
+  double t_begin = 0.0;  // running T_{k-1}
+  double banked = 0.0;
+
+  // Forced periods: each exposes the adversary option worth exactly v.
+  while (true) {
+    const double need = v - banked;
+    if (need <= 0.0) break;
+    const double x = analytic_guaranteed_work_inverse(p - 1, need, c);
+    const double t_end = lifespan - x;
+    const double t = t_end - t_begin;
+    if (t <= c) return std::nullopt;  // unproductive forced period: v too big
+    lengths.push_back(t);
+    banked += t - c;
+    t_begin = t_end;
+    if (lengths.size() > 4096u) return std::nullopt;  // runaway guard
+  }
+
+  // Immune remainder: cut into the Thm-4.2 band (3c/2 pieces).
+  double rest = lifespan - t_begin;
+  double total_work = banked;
+  while (rest > 3.0 * c) {
+    lengths.push_back(1.5 * c);
+    total_work += 0.5 * c;
+    rest -= 1.5 * c;
+  }
+  if (rest > 0.0) {
+    lengths.push_back(rest);
+    total_work += std::max(0.0, rest - c);
+  }
+  if (lengths.empty()) return std::nullopt;
+  // The no-interrupt option must also be worth at least v.
+  if (total_work < v) return std::nullopt;
+  return lengths;
+}
+
+}  // namespace
+
+double analytic_guaranteed_work(int q, double lifespan, double c) {
+  if (q < 0) throw std::invalid_argument("analytic_guaranteed_work: q >= 0");
+  if (lifespan <= 0.0) return 0.0;
+  if (q == 0) return std::max(0.0, lifespan - c);
+  const double a = deficit_coefficient(q);
+  return std::max(0.0, lifespan - a * std::sqrt(2.0 * c * lifespan) - c / 2.0);
+}
+
+double analytic_guaranteed_work_inverse(int q, double value, double c) {
+  if (q < 0) throw std::invalid_argument("analytic_guaranteed_work_inverse: q >= 0");
+  if (value < 0.0) throw std::invalid_argument("inverse: value >= 0");
+  if (q == 0) return value + c;
+  // x − a√(2cx) − c/2 = v with s = √x:  s² − (a√(2c))s − (v + c/2) = 0.
+  const double a = deficit_coefficient(q);
+  const double b = a * std::sqrt(2.0 * c);
+  const double s = (b + std::sqrt(b * b + 4.0 * (value + c / 2.0))) / 2.0;
+  return s * s;
+}
+
+EpisodeSchedule equalized_episode(Ticks lifespan, int p, const Params& params,
+                                  double* value_out) {
+  require_valid(params);
+  if (lifespan < 1) throw std::invalid_argument("equalized_episode: lifespan >= 1");
+  if (p < 0) throw std::invalid_argument("equalized_episode: p >= 0");
+  if (value_out != nullptr) *value_out = 0.0;
+
+  if (p == 0) {
+    if (value_out != nullptr) {
+      *value_out = static_cast<double>(positive_sub(lifespan, params.c));
+    }
+    return EpisodeSchedule({lifespan});  // Prop 4.1(d)
+  }
+
+  const double l = static_cast<double>(lifespan);
+  const double c = static_cast<double>(params.c);
+
+  // Bisect for the largest feasible equalized value V.
+  double lo = 0.0, hi = std::max(0.0, l - c);
+  std::optional<std::vector<double>> best = try_build(l, p, c, 0.0);
+  double best_v = 0.0;
+  for (int iter = 0; iter < 64 && hi - lo > 0.25; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    auto attempt = try_build(l, p, c, mid);
+    if (attempt) {
+      best = std::move(attempt);
+      best_v = mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (!best || best->empty()) {
+    // No productive split exists (L at or below the Prop 4.1(c) threshold):
+    // a single period is as good as anything.
+    return EpisodeSchedule({lifespan});
+  }
+  if (value_out != nullptr) *value_out = best_v;
+  return EpisodeSchedule::from_real(*best, lifespan);
+}
+
+EpisodeSchedule EqualizedGuidelinePolicy::episode(Ticks residual, int interrupts_left,
+                                                  const Params& params) const {
+  return equalized_episode(residual, interrupts_left, params);
+}
+
+}  // namespace nowsched

@@ -1,0 +1,47 @@
+#include "core/transforms.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nowsched {
+
+EpisodeSchedule make_productive(const EpisodeSchedule& sched, const Params& params) {
+  std::vector<Ticks> periods(sched.periods().begin(), sched.periods().end());
+  // Backward sweep: merging periods[i] into periods[i+1] can only grow the
+  // successor, so one pass from the end suffices — after processing index i,
+  // all non-terminal periods at indices >= i exceed c.
+  for (std::size_t i = periods.size(); i-- > 1;) {
+    // i-1 is non-terminal as long as anything follows it.
+    if (periods[i - 1] <= params.c) {
+      periods[i] += periods[i - 1];
+      periods.erase(periods.begin() + static_cast<std::ptrdiff_t>(i - 1));
+    }
+  }
+  return EpisodeSchedule(std::move(periods));
+}
+
+EpisodeSchedule split_immune_tail(const EpisodeSchedule& sched,
+                                  std::size_t immune_count, const Params& params) {
+  const std::size_t m = sched.size();
+  immune_count = std::min(immune_count, m);
+  const std::size_t first_immune = m - immune_count;
+
+  std::vector<Ticks> periods;
+  periods.reserve(m);
+  for (std::size_t i = 0; i < first_immune; ++i) periods.push_back(sched.period(i));
+  for (std::size_t i = first_immune; i < m; ++i) {
+    const Ticks t = sched.period(i);
+    if (t <= 2 * params.c) {
+      periods.push_back(t);
+      continue;
+    }
+    // q = ⌈t/(2c)⌉ equal pieces; each piece is > c because t > 2c.
+    const Ticks q = (t + 2 * params.c - 1) / (2 * params.c);
+    const EpisodeSchedule pieces =
+        EpisodeSchedule::equal_split(t, static_cast<std::size_t>(q));
+    for (Ticks piece : pieces.periods()) periods.push_back(piece);
+  }
+  return EpisodeSchedule(std::move(periods));
+}
+
+}  // namespace nowsched

@@ -1,0 +1,32 @@
+// Schedule transformations proved safe by the paper.
+//
+// Thm 4.1: any schedule can be replaced by a *productive* one (every
+// non-terminal period > c) without losing guaranteed work, by merging a
+// non-productive period into its successor.
+//
+// Thm 4.2: in an r-immune schedule (the adversary never interrupts the last
+// r periods), every immune period may be re-cut into lengths in (c, 2c]
+// without decreasing work production — splitting a long period into equal
+// halves only helps.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.h"
+#include "core/types.h"
+
+namespace nowsched {
+
+/// Thm 4.1 transformation: repeatedly merge any non-terminal period of
+/// length <= c into its successor. Preserves total lifespan; the result is
+/// productive. Idempotent.
+EpisodeSchedule make_productive(const EpisodeSchedule& sched, const Params& params);
+
+/// Thm 4.2 transformation: re-cut the last `immune_count` periods so each
+/// piece lies in (c, 2c] where possible (periods of length <= 2c are kept;
+/// longer ones are split into ⌈t/(2c)⌉ equal pieces, each in (c, 2c]).
+/// Preserves total lifespan and all non-immune periods.
+EpisodeSchedule split_immune_tail(const EpisodeSchedule& sched, std::size_t immune_count,
+                                  const Params& params);
+
+}  // namespace nowsched

@@ -1,0 +1,61 @@
+// Fundamental model types for draconian cycle-stealing (Rosenberg 1999, §2).
+//
+// Time and work are measured in integer Ticks. The paper works in continuous
+// time; we discretize so that game values are exact integers and properties
+// such as 1-Lipschitz continuity of W(p)[L] can be asserted exactly.
+// Experiments scale the setup cost c to >= 16 ticks so that discretization
+// error is a sub-percent effect (quantified in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace nowsched {
+
+/// Discrete time / work quantity. Signed so that differences are natural;
+/// all public APIs maintain non-negativity invariants.
+using Ticks = std::int64_t;
+
+/// Positive subtraction, the paper's ⊖ operator: x ⊖ y = max(0, x − y).
+/// A period of length t yields t ⊖ c units of work (§2.2).
+[[nodiscard]] constexpr Ticks positive_sub(Ticks x, Ticks y) noexcept {
+  return x > y ? x - y : 0;
+}
+
+/// Model parameters of the architecture-independent framework (§2.1):
+/// c is the fixed cost of the paired communications bracketing each period
+/// (A sends work to B; B returns results), independent of data volume.
+struct Params {
+  Ticks c = 16;
+
+  constexpr bool valid() const noexcept { return c >= 1; }
+};
+
+/// Throws std::invalid_argument unless params.valid().
+inline void require_valid(const Params& params) {
+  if (!params.valid()) {
+    throw std::invalid_argument("Params: setup cost c must be >= 1 tick, got " +
+                                std::to_string(params.c));
+  }
+}
+
+/// A cycle-stealing opportunity (§2.1): usable lifespan U and an upper bound
+/// p on the number of owner interruptions. The owner of A knows (U, p) but
+/// not when (or whether) the interrupts occur.
+struct Opportunity {
+  Ticks lifespan = 0;  ///< U > 0
+  int max_interrupts = 0;  ///< p >= 0
+
+  constexpr bool valid() const noexcept {
+    return lifespan >= 0 && max_interrupts >= 0;
+  }
+};
+
+inline void require_valid(const Opportunity& opp) {
+  if (!opp.valid()) {
+    throw std::invalid_argument("Opportunity: need lifespan >= 0 and p >= 0");
+  }
+}
+
+}  // namespace nowsched

@@ -1,0 +1,52 @@
+// Umbrella header for the nowsched library.
+//
+// nowsched reproduces and extends:
+//   A. L. Rosenberg, "Guidelines for Data-Parallel Cycle-Stealing in
+//   Networks of Workstations, II: On Maximizing Guaranteed Output",
+//   IPPS/SPDP 1999.
+//
+// Layers (see DESIGN.md):
+//   nowsched           — model types, schedules, published guidelines
+//   nowsched::solver   — exact minimax solvers for W(p)[L], policy evaluation
+//   nowsched::adversary— owner/interrupt models
+//   nowsched::sim      — discrete-event NOW simulator
+//   nowsched::util     — support (RNG, stats, tables, threads)
+#pragma once
+
+#include "core/baselines.h"
+#include "core/bounds.h"
+#include "core/closed_form.h"
+#include "core/analysis.h"
+#include "core/equalized.h"
+#include "core/guidelines.h"
+#include "core/policy.h"
+#include "core/schedule.h"
+#include "core/transforms.h"
+#include "core/types.h"
+
+#include "solver/extract.h"
+#include "solver/fast_solver.h"
+#include "solver/nonadaptive_eval.h"
+#include "solver/nonadaptive_opt.h"
+#include "solver/policy_eval.h"
+#include "solver/reference_solver.h"
+#include "solver/value_table.h"
+
+#include "adversary/adversary.h"
+#include "adversary/heuristics.h"
+#include "adversary/stochastic.h"
+#include "adversary/trace.h"
+
+#include "sim/checkpoint.h"
+#include "sim/event.h"
+#include "sim/farm.h"
+#include "sim/metrics.h"
+#include "sim/session.h"
+#include "sim/taskbag.h"
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"

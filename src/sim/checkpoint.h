@@ -1,0 +1,54 @@
+// Intra-period checkpointing — an extension ablating the draconian model.
+//
+// In the paper, the ONLY checkpoints are period boundaries (B returns
+// results to A), so an interrupt destroys the whole period in progress.
+// Real systems can snapshot mid-period at some cost. This model inserts a
+// checkpoint after every `interval` ticks of productive work, each costing
+// `cost` ticks; an interrupt then loses only the work since the last
+// completed checkpoint instead of the whole period.
+//
+// The accounting (used by SessionActor and tested directly):
+//   * a period of length t has raw capacity w = t ⊖ c;
+//   * the period alternates [interval work][cost checkpoint] cycles, so a
+//     completed period banks productive(w) = w − floor(w/(interval+cost))·cost
+//     (a trailing partial segment needs no checkpoint — period end is one);
+//   * an interrupt after e < w elapsed capacity salvages
+//     floor(e/(interval+cost))·interval ticks of checkpointed work.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/types.h"
+
+namespace nowsched::sim {
+
+struct Checkpointing {
+  Ticks interval = 0;  ///< productive ticks between checkpoints (>= 1)
+  Ticks cost = 0;      ///< ticks consumed per checkpoint (>= 0)
+
+  bool valid() const noexcept { return interval >= 1 && cost >= 0; }
+};
+
+/// Work banked by a COMPLETED period of raw capacity `w` under `ckpt`.
+/// Without checkpointing this is w itself.
+inline Ticks checkpointed_period_work(Ticks w, const Checkpointing& ckpt) {
+  if (!ckpt.valid()) throw std::invalid_argument("Checkpointing: bad parameters");
+  if (w <= 0) return 0;
+  const Ticks cycle = ckpt.interval + ckpt.cost;
+  const Ticks full_cycles = w / cycle;
+  // Checkpoint overhead is paid only for checkpoints fully taken; the final
+  // partial segment is covered by the period-end checkpoint (cost c, already
+  // accounted in the setup).
+  return w - full_cycles * ckpt.cost;
+}
+
+/// Work SALVAGED when a period is interrupted after `elapsed` of its raw
+/// capacity has run (elapsed in [0, w)). Without checkpointing this is 0.
+inline Ticks checkpoint_salvage(Ticks elapsed, const Checkpointing& ckpt) {
+  if (!ckpt.valid()) throw std::invalid_argument("Checkpointing: bad parameters");
+  if (elapsed <= 0) return 0;
+  const Ticks cycle = ckpt.interval + ckpt.cost;
+  return (elapsed / cycle) * ckpt.interval;
+}
+
+}  // namespace nowsched::sim

@@ -1,0 +1,33 @@
+#include "sim/event.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nowsched::sim {
+
+void Simulator::schedule_at(Ticks time, Callback cb) {
+  if (time < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time is in the past");
+  }
+  queue_.push(Event{time, seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_after(Ticks delay, Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule_after: delay < 0");
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    // Copy out before pop: the callback may schedule further events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb(*this);
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace nowsched::sim

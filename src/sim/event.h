@@ -1,0 +1,50 @@
+// Minimal discrete-event simulation core: a time-ordered event queue with
+// deterministic FIFO tie-breaking. Sessions and farms are actors scheduling
+// callbacks on a shared clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace nowsched::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void(Simulator&)>;
+
+  /// Schedule `cb` at absolute `time` (>= now()); throws on time travel.
+  void schedule_at(Ticks time, Callback cb);
+
+  /// Schedule `cb` `delay` ticks from now (delay >= 0).
+  void schedule_after(Ticks delay, Callback cb);
+
+  Ticks now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Process events in (time, insertion) order until the queue drains or
+  /// `max_events` have run. Returns the number processed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+ private:
+  struct Event {
+    Ticks time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Ticks now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace nowsched::sim

@@ -1,0 +1,44 @@
+#include "sim/farm.h"
+
+#include <stdexcept>
+
+namespace nowsched::sim {
+
+FarmResult run_farm(const std::vector<WorkstationConfig>& stations, TaskBag& bag) {
+  if (stations.empty()) throw std::invalid_argument("run_farm: no workstations");
+  for (const auto& st : stations) {
+    if (!st.policy || !st.owner) {
+      throw std::invalid_argument("run_farm: station '" + st.name +
+                                  "' missing policy or owner");
+    }
+    if (st.start_time < 0) {
+      throw std::invalid_argument("run_farm: negative start time");
+    }
+  }
+
+  Simulator sim;
+  std::vector<std::unique_ptr<SessionActor>> actors;
+  actors.reserve(stations.size());
+  for (const auto& st : stations) {
+    actors.push_back(std::make_unique<SessionActor>(*st.policy, *st.owner,
+                                                    st.opportunity, st.params, &bag));
+    SessionActor* actor = actors.back().get();
+    sim.schedule_at(st.start_time, [actor](Simulator& s) { actor->start(s); });
+  }
+
+  FarmResult result;
+  result.events = sim.run();
+  result.makespan = sim.now();
+  for (const auto& actor : actors) {
+    if (!actor->finished()) {
+      throw std::logic_error("run_farm: a session stalled before completion");
+    }
+    result.per_workstation.push_back(actor->metrics());
+    result.aggregate.merge(actor->metrics());
+  }
+  result.tasks_left = bag.pending();
+  result.task_work_left = bag.pending_work();
+  return result;
+}
+
+}  // namespace nowsched::sim

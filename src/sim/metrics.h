@@ -1,0 +1,51 @@
+// Metrics collected by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.h"
+
+namespace nowsched::sim {
+
+struct SessionMetrics {
+  /// Model-level work banked: Σ over completed periods of (t ⊖ c).
+  Ticks banked_work = 0;
+  /// Task ticks actually completed (<= banked_work when tasks fragment).
+  Ticks task_work = 0;
+  /// Setup cost paid on completed periods.
+  Ticks comm_overhead = 0;
+  /// Period capacity destroyed by interrupts (work in progress when killed).
+  Ticks lost_work = 0;
+  /// Work rescued by intra-period checkpoints (0 under the paper's model).
+  Ticks salvaged_work = 0;
+  /// Capacity no task fit into (indivisible-task fragmentation).
+  Ticks fragmentation = 0;
+  /// Lifespan ticks consumed (== U when the opportunity runs out).
+  Ticks lifespan_used = 0;
+
+  int interrupts = 0;
+  std::size_t episodes = 0;
+  std::size_t periods_completed = 0;
+  std::size_t periods_killed = 0;
+  std::size_t tasks_completed = 0;
+
+  void merge(const SessionMetrics& other) noexcept {
+    banked_work += other.banked_work;
+    task_work += other.task_work;
+    comm_overhead += other.comm_overhead;
+    lost_work += other.lost_work;
+    salvaged_work += other.salvaged_work;
+    fragmentation += other.fragmentation;
+    lifespan_used += other.lifespan_used;
+    interrupts += other.interrupts;
+    episodes += other.episodes;
+    periods_completed += other.periods_completed;
+    periods_killed += other.periods_killed;
+    tasks_completed += other.tasks_completed;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace nowsched::sim

@@ -1,0 +1,181 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace nowsched::sim {
+
+std::string SessionMetrics::to_string() const {
+  std::ostringstream os;
+  os << "banked=" << banked_work << " tasks=" << tasks_completed
+     << " task_work=" << task_work << " comm=" << comm_overhead
+     << " lost=" << lost_work << " salvaged=" << salvaged_work
+     << " frag=" << fragmentation
+     << " interrupts=" << interrupts << " episodes=" << episodes
+     << " periods=" << periods_completed << "+" << periods_killed << "killed";
+  return os.str();
+}
+
+SessionActor::SessionActor(const SchedulingPolicy& policy,
+                           adversary::Adversary& adversary, Opportunity opportunity,
+                           Params params, TaskBag* bag,
+                           std::optional<Checkpointing> checkpointing)
+    : policy_(policy),
+      adversary_(adversary),
+      opportunity_(opportunity),
+      params_(params),
+      bag_(bag),
+      checkpointing_(checkpointing) {
+  require_valid(params_);
+  require_valid(opportunity_);
+  if (checkpointing_ && !checkpointing_->valid()) {
+    throw std::invalid_argument("SessionActor: invalid checkpointing parameters");
+  }
+}
+
+void SessionActor::start(Simulator& sim) {
+  opportunity_start_ = sim.now();
+  residual_ = opportunity_.lifespan;
+  interrupts_left_ = opportunity_.max_interrupts;
+  if (residual_ == 0) {
+    finished_ = true;
+    return;
+  }
+  begin_episode(sim);
+}
+
+void SessionActor::begin_episode(Simulator& sim) {
+  episode_ = policy_.episode(residual_, interrupts_left_, params_);
+  if (episode_.total() != residual_) {
+    throw std::logic_error("SessionActor: policy episode does not span the residual");
+  }
+  episode_start_abs_ = sim.now();
+  metrics_.episodes += 1;
+  current_period_ = 0;
+  interrupt_tick_.reset();
+
+  if (interrupts_left_ > 0) {
+    adversary::EpisodeContext ctx;
+    ctx.episode_start = episode_start_abs_ - opportunity_start_;
+    ctx.residual = residual_;
+    ctx.interrupts_left = interrupts_left_;
+    ctx.params = params_;
+    auto planned = adversary_.plan_interrupt(episode_, ctx);
+    if (planned) {
+      if (*planned < 1 || *planned > episode_.total()) {
+        throw std::logic_error("SessionActor: adversary interrupt outside episode");
+      }
+      interrupt_tick_ = planned;
+    }
+  }
+  begin_period(sim);
+}
+
+void SessionActor::begin_period(Simulator& sim) {
+  const std::size_t k = current_period_;
+  const Ticks length = episode_.period(k);
+
+  // Pack a batch into the productive capacity of this period.
+  in_flight_capacity_ = positive_sub(length, params_.c);
+  if (bag_ != nullptr && in_flight_capacity_ > 0) {
+    in_flight_ = bag_->take_batch(in_flight_capacity_);
+  } else {
+    in_flight_.clear();
+  }
+
+  const std::uint64_t gen = generation_;
+  // Does the planned interrupt land inside this period?
+  if (interrupt_tick_ && *interrupt_tick_ <= episode_.end(k)) {
+    const Ticks delay = *interrupt_tick_ - episode_.start(k);
+    sim.schedule_after(delay, [this, gen](Simulator& s) {
+      if (gen == generation_) handle_interrupt(s);
+    });
+  } else {
+    sim.schedule_after(length, [this, gen](Simulator& s) {
+      if (gen == generation_) finish_period(s);
+    });
+  }
+}
+
+void SessionActor::finish_period(Simulator& sim) {
+  const std::size_t k = current_period_;
+  Ticks produced = positive_sub(episode_.period(k), params_.c);
+  if (checkpointing_) {
+    produced = checkpointed_period_work(produced, *checkpointing_);
+  }
+
+  metrics_.periods_completed += 1;
+  metrics_.banked_work += produced;
+  metrics_.comm_overhead += std::min(episode_.period(k), params_.c);
+  if (bag_ != nullptr) {
+    const Ticks batch = TaskBag::batch_work(in_flight_);
+    bag_->mark_completed(in_flight_);
+    metrics_.tasks_completed += in_flight_.size();
+    metrics_.task_work += batch;
+    metrics_.fragmentation += in_flight_capacity_ - batch;
+    in_flight_.clear();
+  }
+
+  ++current_period_;
+  if (current_period_ < episode_.size()) {
+    begin_period(sim);
+    return;
+  }
+  // Episode ran to completion: the lifespan is exhausted (episodes span the
+  // entire residual by construction).
+  metrics_.lifespan_used += episode_.total();
+  residual_ = 0;
+  ++generation_;
+  finished_ = true;
+}
+
+void SessionActor::handle_interrupt(Simulator& sim) {
+  const Ticks tick = *interrupt_tick_;
+  metrics_.interrupts += 1;
+  metrics_.periods_killed += 1;
+  metrics_.lifespan_used += tick;
+
+  Ticks salvaged = 0;
+  if (checkpointing_) {
+    // Productive capacity elapsed in the killed period when the owner hit:
+    // the setup prefix of length c produces nothing.
+    const Ticks in_period = tick - episode_.start(current_period_);
+    const Ticks elapsed =
+        std::min(positive_sub(in_period, params_.c), in_flight_capacity_);
+    salvaged = checkpoint_salvage(elapsed, *checkpointing_);
+    metrics_.salvaged_work += salvaged;
+    metrics_.banked_work += salvaged;
+  }
+  metrics_.lost_work += in_flight_capacity_ - salvaged;
+  if (bag_ != nullptr && !in_flight_.empty()) {
+    bag_->return_batch(in_flight_);
+    in_flight_.clear();
+  }
+
+  residual_ -= tick;
+  interrupts_left_ -= 1;
+  ++generation_;
+
+  if (residual_ <= 0) {
+    finished_ = true;
+    return;
+  }
+  begin_episode(sim);
+}
+
+SessionMetrics run_session(const SchedulingPolicy& policy,
+                           adversary::Adversary& adversary, Opportunity opportunity,
+                           Params params, TaskBag* bag,
+                           std::optional<Checkpointing> checkpointing) {
+  Simulator sim;
+  SessionActor actor(policy, adversary, opportunity, params, bag, checkpointing);
+  actor.start(sim);
+  sim.run();
+  if (!actor.finished()) {
+    throw std::logic_error("run_session: simulation stalled before completion");
+  }
+  return actor.metrics();
+}
+
+}  // namespace nowsched::sim

@@ -1,0 +1,81 @@
+// One cycle-stealing opportunity, simulated end to end.
+//
+// SessionActor is a state machine on the shared Simulator clock:
+//   episode start -> (period end)* -> interrupt | episode exhausted -> ...
+// Interrupt semantics follow the model exactly: an interrupt during period k
+// kills that period's work; periods checkpoint (B returns results) at their
+// ends. With a TaskBag attached, each period carries a greedily packed batch
+// of indivisible tasks; killed batches return to the bag.
+//
+// run_session() is the standalone convenience wrapper (own Simulator).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "core/policy.h"
+#include "core/types.h"
+#include "sim/checkpoint.h"
+#include "sim/event.h"
+#include "sim/metrics.h"
+#include "sim/taskbag.h"
+
+namespace nowsched::sim {
+
+class SessionActor {
+ public:
+  /// `bag` may be nullptr (pure model-level accounting). `checkpointing`
+  /// enables the intra-period checkpoint extension (sim/checkpoint.h);
+  /// the paper's draconian model is the default (nullopt). Lifetime of all
+  /// referenced objects must cover the simulation run.
+  SessionActor(const SchedulingPolicy& policy, adversary::Adversary& adversary,
+               Opportunity opportunity, Params params, TaskBag* bag = nullptr,
+               std::optional<Checkpointing> checkpointing = std::nullopt);
+
+  /// Schedules the first episode on `sim` (at the current sim time).
+  void start(Simulator& sim);
+
+  bool finished() const noexcept { return finished_; }
+  const SessionMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  void begin_episode(Simulator& sim);
+  void begin_period(Simulator& sim);
+  void finish_period(Simulator& sim);
+  void handle_interrupt(Simulator& sim);
+
+  // Configuration.
+  const SchedulingPolicy& policy_;
+  adversary::Adversary& adversary_;
+  Opportunity opportunity_;
+  Params params_;
+  TaskBag* bag_;
+  std::optional<Checkpointing> checkpointing_;
+
+  // Episode state.
+  EpisodeSchedule episode_;
+  Ticks episode_start_abs_ = 0;   ///< sim time at episode start
+  Ticks opportunity_start_ = 0;   ///< sim time at session start
+  Ticks residual_ = 0;
+  int interrupts_left_ = 0;
+  std::size_t current_period_ = 0;
+  std::optional<Ticks> interrupt_tick_;  ///< episode-relative, 1-based
+  std::vector<Task> in_flight_;
+  Ticks in_flight_capacity_ = 0;
+
+  // Staleness guard: events carry the generation they were scheduled in.
+  std::uint64_t generation_ = 0;
+
+  SessionMetrics metrics_;
+  bool finished_ = false;
+};
+
+/// Runs a single session to completion on a private Simulator.
+SessionMetrics run_session(const SchedulingPolicy& policy,
+                           adversary::Adversary& adversary, Opportunity opportunity,
+                           Params params, TaskBag* bag = nullptr,
+                           std::optional<Checkpointing> checkpointing = std::nullopt);
+
+}  // namespace nowsched::sim

@@ -1,0 +1,64 @@
+#include "sim/taskbag.h"
+
+#include <stdexcept>
+
+namespace nowsched::sim {
+
+TaskBag::TaskBag(std::vector<Task> tasks) {
+  for (const Task& t : tasks) {
+    if (t.duration < 1) throw std::invalid_argument("TaskBag: task duration >= 1");
+    pending_work_ += t.duration;
+  }
+  pending_.assign(tasks.begin(), tasks.end());
+}
+
+TaskBag TaskBag::uniform(std::size_t count, Ticks duration) {
+  std::vector<Task> tasks(count);
+  for (std::size_t i = 0; i < count; ++i) tasks[i] = Task{i, duration};
+  return TaskBag(std::move(tasks));
+}
+
+TaskBag TaskBag::random(std::size_t count, Ticks min_duration, Ticks max_duration,
+                        util::Rng& rng) {
+  if (min_duration < 1 || max_duration < min_duration) {
+    throw std::invalid_argument("TaskBag::random: bad duration range");
+  }
+  std::vector<Task> tasks(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tasks[i] = Task{i, rng.uniform_int(min_duration, max_duration)};
+  }
+  return TaskBag(std::move(tasks));
+}
+
+std::vector<Task> TaskBag::take_batch(Ticks capacity) {
+  std::vector<Task> batch;
+  Ticks used = 0;
+  while (!pending_.empty() && used + pending_.front().duration <= capacity) {
+    batch.push_back(pending_.front());
+    used += pending_.front().duration;
+    pending_work_ -= pending_.front().duration;
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void TaskBag::return_batch(const std::vector<Task>& batch) {
+  // Reinsert preserving original order at the front.
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    pending_.push_front(*it);
+    pending_work_ += it->duration;
+  }
+}
+
+void TaskBag::mark_completed(const std::vector<Task>& batch) {
+  completed_count_ += batch.size();
+  completed_work_ += batch_work(batch);
+}
+
+Ticks TaskBag::batch_work(const std::vector<Task>& batch) noexcept {
+  Ticks total = 0;
+  for (const Task& t : batch) total += t.duration;
+  return total;
+}
+
+}  // namespace nowsched::sim

@@ -1,0 +1,84 @@
+#include "solver/extract.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nowsched::solver {
+
+namespace {
+
+/// Longest t in [1, l] attaining V_p(l) = min((t ⊖ c) + V_p(l−t), V_{p−1}(l−t)).
+Ticks best_period_length(const ValueTable& table, int p, Ticks l) {
+  const Ticks c = table.params().c;
+  const auto cur = table.level(p);
+  const auto prev = table.level(p - 1);
+  const Ticks target = cur[static_cast<std::size_t>(l)];
+  Ticks best_t = 1;
+  for (Ticks t = 1; t <= l; ++t) {
+    const auto rest = static_cast<std::size_t>(l - t);
+    const Ticks v = std::min(positive_sub(t, c) + cur[rest], prev[rest]);
+    if (v >= target) best_t = t;  // v never exceeds target; >= catches ties
+  }
+  return best_t;
+}
+
+}  // namespace
+
+EpisodeSchedule extract_episode(const ValueTable& table, int p, Ticks lifespan) {
+  if (lifespan < 0 || lifespan > table.max_lifespan()) {
+    throw std::out_of_range("extract_episode: lifespan outside the table");
+  }
+  if (p < 0 || p > table.max_interrupts()) {
+    throw std::out_of_range("extract_episode: p outside the table");
+  }
+  if (lifespan == 0) return EpisodeSchedule{};
+  if (p == 0) return EpisodeSchedule({lifespan});  // Prop 4.1(d)
+
+  std::vector<Ticks> periods;
+  Ticks l = lifespan;
+  while (l > 0) {
+    const Ticks t = best_period_length(table, p, l);
+    periods.push_back(t);
+    l -= t;
+  }
+  return EpisodeSchedule(std::move(periods));
+}
+
+std::vector<Ticks> equalization_residuals(const ValueTable& table,
+                                          const EpisodeSchedule& episode, int p,
+                                          Ticks lifespan) {
+  if (p < 1) throw std::invalid_argument("equalization_residuals: need p >= 1");
+  const Ticks c = table.params().c;
+  const auto prev = table.level(p - 1);
+  std::vector<Ticks> residuals;
+  residuals.reserve(episode.size());
+  // Thm 4.3 writes t_k = c + W(p−1)[U − T_k] − W(p−1)[U − T_{k+1}] where T_k
+  // is the END of (1-based) period k — equivalently, killing period k versus
+  // killing period k+1 must cost the adversary the same. The final period
+  // has no successor; its residual is reported as 0.
+  for (std::size_t k = 0; k + 1 < episode.size(); ++k) {
+    const Ticks w_k =
+        prev[static_cast<std::size_t>(positive_sub(lifespan, episode.end(k)))];
+    const Ticks w_next =
+        prev[static_cast<std::size_t>(positive_sub(lifespan, episode.end(k + 1)))];
+    residuals.push_back(episode.period(k) - (c + w_k - w_next));
+  }
+  if (!episode.empty()) residuals.push_back(0);
+  return residuals;
+}
+
+OptimalPolicy::OptimalPolicy(std::shared_ptr<const ValueTable> table)
+    : table_(std::move(table)) {
+  if (!table_) throw std::invalid_argument("OptimalPolicy: null table");
+}
+
+EpisodeSchedule OptimalPolicy::episode(Ticks residual, int interrupts_left,
+                                       const Params& params) const {
+  if (params.c != table_->params().c) {
+    throw std::invalid_argument("OptimalPolicy: params mismatch with table");
+  }
+  const int p = std::min(interrupts_left, table_->max_interrupts());
+  return extract_episode(*table_, p, residual);
+}
+
+}  // namespace nowsched::solver

@@ -1,0 +1,41 @@
+// Recovering optimal episode-schedules and verifying Thm 4.3 structure from
+// the W(p)[L] value tables.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+#include "core/schedule.h"
+#include "solver/value_table.h"
+
+namespace nowsched::solver {
+
+/// The committed optimal episode for state (p, L): repeatedly pick the
+/// period length attaining V_p and follow the no-interrupt branch until the
+/// lifespan is exhausted. Ties prefer the longest period (this matches the
+/// paper's decreasing-period shape and avoids degenerate 1-tick chains).
+EpisodeSchedule extract_episode(const ValueTable& table, int p, Ticks lifespan);
+
+/// Thm 4.3 predicts, for the early ("non-immune") periods,
+///   t_k = c + W(p−1)[U − T_k] − W(p−1)[U − T_{k+1}]        (1-based k),
+/// i.e. each period equalizes the impact of the interrupts it exposes.
+/// Returns per-period residuals t_k − (c + ΔW) for a given episode; small
+/// residuals on the early periods corroborate the theorem on the grid.
+std::vector<Ticks> equalization_residuals(const ValueTable& table,
+                                          const EpisodeSchedule& episode, int p,
+                                          Ticks lifespan);
+
+/// Optimal adaptive policy backed by a value table. episode(L, q) uses
+/// level min(q, max_p). Lifespans above table.max_lifespan() throw.
+class OptimalPolicy final : public SchedulingPolicy {
+ public:
+  explicit OptimalPolicy(std::shared_ptr<const ValueTable> table);
+  std::string name() const override { return "dp-optimal"; }
+  EpisodeSchedule episode(Ticks residual, int interrupts_left,
+                          const Params& params) const override;
+
+ private:
+  std::shared_ptr<const ValueTable> table_;
+};
+
+}  // namespace nowsched::solver

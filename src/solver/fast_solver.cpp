@@ -1,0 +1,93 @@
+#include "solver/fast_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+
+namespace nowsched::solver {
+
+namespace {
+
+/// max_{t in [c, l]} min((t−c) + cur[l−t], prev[l−t]) — the crossover scan.
+/// Reads cur[] only at indices <= l − c. Returns 0 when l < c.
+Ticks crossover_best(std::span<const Ticks> cur, std::span<const Ticks> prev, Ticks l,
+                     Ticks c) {
+  if (l < c) return 0;
+  auto a = [&](Ticks t) {
+    return (t - c) + cur[static_cast<std::size_t>(l - t)];
+  };
+  auto b = [&](Ticks t) { return prev[static_cast<std::size_t>(l - t)]; };
+
+  // Binary search the last t in [c, l] with A(t) < B(t); A is non-decreasing
+  // and B non-increasing, so the predicate A<B is monotone (true then false).
+  Ticks lo = c, hi = l;
+  if (!(a(lo) < b(lo))) {
+    // Crossover at or before c: the best candidate is t = c itself.
+    return std::min(a(lo), b(lo));
+  }
+  if (a(hi) < b(hi)) {
+    // Never crosses: min is A, maximized at t = l.
+    return a(hi);
+  }
+  while (lo + 1 < hi) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    if (a(mid) < b(mid)) lo = mid;
+    else hi = mid;
+  }
+  // lo: last t with A<B (min = A there); hi = lo+1: first t with A>=B.
+  return std::max(a(lo), b(hi));
+}
+
+}  // namespace
+
+ValueTable solve_fast(int max_p, Ticks max_lifespan, const Params& params,
+                      util::ThreadPool* pool) {
+  ValueTable table(max_p, max_lifespan, params);
+  const Ticks c = params.c;
+  const auto n = static_cast<std::size_t>(max_lifespan);
+
+  auto level0 = table.mutable_level(0);
+  for (Ticks l = 0; l <= max_lifespan; ++l) {
+    level0[static_cast<std::size_t>(l)] = positive_sub(l, c);
+  }
+
+  for (int p = 1; p <= max_p; ++p) {
+    auto cur = table.mutable_level(p);
+    auto prev = table.level(p - 1);
+    cur[0] = 0;
+
+    const bool parallel = pool != nullptr && pool->size() > 1 && c >= 256 &&
+                          max_lifespan > 4 * c;
+    if (!parallel) {
+      for (Ticks l = 1; l <= max_lifespan; ++l) {
+        const Ticks best = crossover_best(cur, prev, l, c);
+        cur[static_cast<std::size_t>(l)] =
+            std::max(best, cur[static_cast<std::size_t>(l - 1)]);
+      }
+      continue;
+    }
+
+    // Block-parallel: within [block, block + c) the scans only read cur[]
+    // below the block start, which is already final.
+    for (Ticks block = 1; block <= max_lifespan; block += c) {
+      const Ticks block_end = std::min(max_lifespan + 1, block + c);
+      pool->parallel_for_chunks(
+          static_cast<std::size_t>(block), static_cast<std::size_t>(block_end),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t l = lo; l < hi; ++l) {
+              cur[l] = crossover_best(cur, prev, static_cast<Ticks>(l), c);
+            }
+          });
+      // Sequential carry merge for this block.
+      for (Ticks l = block; l < block_end; ++l) {
+        cur[static_cast<std::size_t>(l)] =
+            std::max(cur[static_cast<std::size_t>(l)],
+                     cur[static_cast<std::size_t>(l - 1)]);
+      }
+    }
+    (void)n;
+  }
+  return table;
+}
+
+}  // namespace nowsched::solver

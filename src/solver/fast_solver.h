@@ -1,0 +1,28 @@
+// O(P·N·log N) crossover solver for W(p)[L].
+//
+// For t in [c, L] write
+//   A(t) = (t − c) + V_p(L − t)   — non-decreasing in t (V_p is 1-Lipschitz),
+//   B(t) = V_{p−1}(L − t)         — non-increasing in t.
+// max_t min(A, B) is attained adjacent to the A/B crossover, found by binary
+// search. Period lengths t < c contribute exactly V_p(L − t) <= V_p(L − 1)
+// and t = 1 attains V_p(L − 1) (the adversary never spends an interrupt on
+// an unproductive period), so
+//   V_p(L) = max( V_p(L − 1),  max_{t in [c, L]} min(A, B) ).
+//
+// The V_p(L−1) carry serializes L, but the crossover searches within a block
+// of c consecutive lifespans only read V_p values below the block, so blocks
+// parallelize; a sequential prefix-max merges the carry.
+#pragma once
+
+#include "solver/value_table.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::solver {
+
+/// Fills W(p)[L] for all p in [0, max_p], L in [0, max_lifespan].
+/// `pool` enables block-parallel level construction (worthwhile when
+/// c >= ~256 ticks); pass nullptr for serial.
+ValueTable solve_fast(int max_p, Ticks max_lifespan, const Params& params,
+                      util::ThreadPool* pool = nullptr);
+
+}  // namespace nowsched::solver

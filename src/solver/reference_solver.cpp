@@ -1,0 +1,34 @@
+#include "solver/reference_solver.h"
+
+#include <algorithm>
+
+namespace nowsched::solver {
+
+ValueTable solve_reference(int max_p, Ticks max_lifespan, const Params& params) {
+  ValueTable table(max_p, max_lifespan, params);
+  const Ticks c = params.c;
+
+  auto level0 = table.mutable_level(0);
+  for (Ticks l = 0; l <= max_lifespan; ++l) {
+    level0[static_cast<std::size_t>(l)] = positive_sub(l, c);
+  }
+
+  for (int p = 1; p <= max_p; ++p) {
+    auto cur = table.mutable_level(p);
+    auto prev = table.level(p - 1);
+    cur[0] = 0;
+    for (Ticks l = 1; l <= max_lifespan; ++l) {
+      Ticks best = 0;
+      for (Ticks t = 1; t <= l; ++t) {
+        const auto rest = static_cast<std::size_t>(l - t);
+        const Ticks no_interrupt = positive_sub(t, c) + cur[rest];
+        const Ticks interrupted = prev[rest];
+        best = std::max(best, std::min(no_interrupt, interrupted));
+      }
+      cur[static_cast<std::size_t>(l)] = best;
+    }
+  }
+  return table;
+}
+
+}  // namespace nowsched::solver

@@ -1,0 +1,13 @@
+// O(P·N²) direct evaluation of the minimax recurrence. Kept as the oracle
+// the fast solver is validated against; use solve_fast for real lifespans.
+#pragma once
+
+#include "solver/value_table.h"
+
+namespace nowsched::solver {
+
+/// Fills W(p)[L] for all p in [0, max_p], L in [0, max_lifespan] by scanning
+/// every period length t in [1, L] at every state.
+ValueTable solve_reference(int max_p, Ticks max_lifespan, const Params& params);
+
+}  // namespace nowsched::solver

@@ -1,0 +1,53 @@
+// W(p)[L] value tables — the paper's optimal guaranteed work, computed
+// exactly on the integer tick grid.
+//
+// Game semantics (§2.2, sequentialized): with residual lifespan L and p
+// potential interrupts, A picks the next period length t; the adversary
+// either lets it complete (A banks t ⊖ c, continues with (p, L−t)) or kills
+// it at its last instant (A banks nothing, continues with (p−1, L−t)).
+// Committing a whole episode-schedule is equivalent: the tail of an episode
+// is exactly A's continuation in the no-interrupt branch, and no other
+// information arrives at period boundaries.
+//
+//   V_0(L) = L ⊖ c                                   (Prop 4.1(d))
+//   V_p(L) = max_{1<=t<=L} min( (t ⊖ c) + V_p(L−t),  V_{p−1}(L−t) )
+//
+// Values are exact integers; `solve_reference` is the O(P·N²) oracle and
+// `solve_fast` the O(P·N·log N) production solver (they agree bit-for-bit;
+// see tests/solver_cross_check_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace nowsched::solver {
+
+class ValueTable {
+ public:
+  /// An uninitialized table; filled by the solvers.
+  ValueTable(int max_p, Ticks max_lifespan, const Params& params);
+
+  /// W(p)[L]; requires 0 <= p <= max_p and 0 <= L <= max_lifespan.
+  Ticks value(int p, Ticks lifespan) const;
+
+  /// The whole level p as a span over L = 0..max_lifespan.
+  std::span<const Ticks> level(int p) const;
+
+  int max_interrupts() const noexcept { return max_p_; }
+  Ticks max_lifespan() const noexcept { return max_l_; }
+  const Params& params() const noexcept { return params_; }
+
+  /// Mutable level access for the solvers.
+  std::span<Ticks> mutable_level(int p);
+
+ private:
+  int max_p_;
+  Ticks max_l_;
+  Params params_;
+  std::vector<std::vector<Ticks>> levels_;  // levels_[p][L]
+};
+
+}  // namespace nowsched::solver

@@ -1,0 +1,33 @@
+// Minimal CSV writer so benches can emit machine-readable series alongside
+// the human-readable tables (EXPERIMENTS.md links both).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nowsched::util {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// String row; must match header arity.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Numeric convenience row.
+  void write_row(const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace nowsched::util

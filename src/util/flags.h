@@ -1,0 +1,34 @@
+// Tiny --key=value command-line parser for the examples and benches.
+// Not a general-purpose CLI library; just enough to parameterize runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nowsched::util {
+
+class Flags {
+ public:
+  /// Parses argv entries of the form --key=value or --key (value "true").
+  /// Non-flag arguments are collected as positionals. Unknown flags are kept
+  /// (examples print them back in --help output).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace nowsched::util

@@ -1,0 +1,67 @@
+// Streaming and batch statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nowsched::util {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary with quantiles. Input copied and sorted once.
+class Summary {
+ public:
+  explicit Summary(std::vector<double> samples);
+
+  std::size_t count() const noexcept { return sorted_.size(); }
+  double mean() const noexcept { return mean_; }
+  double stddev() const noexcept { return stddev_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Linear-interpolation quantile, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// One-line human-readable rendering (used by benches).
+  std::string to_string() const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+/// Least-squares fit of y = a + b*x. Returns {a, b}; b = 0 when degenerate.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace nowsched::util

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace nowsched::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (aligns_.empty()) aligns_.assign(headers_.size(), Align::kRight);
+  assert(aligns_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    // Integral doubles print without a trailing ".000000".
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(precision);
+    os << v;
+  }
+  return os.str();
+}
+
+std::string Table::fmt(long long v) { return std::to_string(v); }
+std::string Table::fmt(unsigned long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::size_t total = headers_.empty() ? 0 : 3 * (headers_.size() - 1);
+  for (std::size_t w : widths) total += w;
+
+  if (!title.empty()) os << title << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      if (aligns_[i] == Align::kRight) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      if (i + 1 < headers_.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) os << std::string(total, '-') << '\n';
+    else emit(row);
+  }
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::ostringstream os;
+  print(os, title);
+  return os.str();
+}
+
+}  // namespace nowsched::util

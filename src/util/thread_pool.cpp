@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace nowsched::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t min_chunk = 64;
+  if (size() <= 1 || n < 2 * min_chunk) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t target_chunks = std::min(n / min_chunk, 4 * size());
+  const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+
+  struct State {
+    std::atomic<std::size_t> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } state;
+
+  std::size_t chunks = 0;
+  for (std::size_t lo = begin; lo < end; lo += chunk) ++chunks;
+  state.remaining.store(chunks, std::memory_order_relaxed);
+
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    enqueue([&state, &fn, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (!state.error) state.error = std::current_exception();
+      }
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state.done_mutex);
+        state.done_cv.notify_one();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done_cv.wait(lock, [&state] {
+      return state.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool* pool = [] {
+    std::size_t threads = 0;
+    if (const char* env = std::getenv("NOWSCHED_THREADS")) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) threads = static_cast<std::size_t>(parsed);
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+}  // namespace nowsched::util

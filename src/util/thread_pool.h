@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The solver's policy-evaluation DP is level-synchronous: within a level all
+// states are independent, so a chunked parallel_for over the state index is
+// the natural parallelization (cf. the message-passing discipline of the HPC
+// guides: explicit decomposition, no shared mutable state inside a chunk).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nowsched::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end), split into ~4x-oversubscribed chunks,
+  /// blocking until all complete. Exceptions from fn propagate (first one
+  /// wins). Serial fallback when the range is small or the pool has 1 thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(chunk_begin, chunk_end) over contiguous chunks; lower dispatch
+  /// overhead for very cheap per-index bodies.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for library internals (lazily constructed, never torn
+/// down before exit). Size honours NOWSCHED_THREADS when set.
+ThreadPool& global_pool();
+
+}  // namespace nowsched::util

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "adversary/heuristics.h"
+#include "adversary/stochastic.h"
+#include "adversary/trace.h"
+
+namespace nowsched::adversary {
+namespace {
+
+constexpr Params kParams{10};
+
+EpisodeContext make_ctx(Ticks start, Ticks residual, int p) {
+  EpisodeContext ctx;
+  ctx.episode_start = start;
+  ctx.residual = residual;
+  ctx.interrupts_left = p;
+  ctx.params = kParams;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Heuristics
+// ---------------------------------------------------------------------------
+
+TEST(NoOp, NeverInterrupts) {
+  NoOpAdversary adv;
+  EpisodeSchedule s({30, 20, 10});
+  EXPECT_FALSE(adv.plan_interrupt(s, make_ctx(0, 60, 3)).has_value());
+}
+
+TEST(FirstPeriod, KillsFirstPeriodAtLastInstant) {
+  FirstPeriodAdversary adv;
+  EpisodeSchedule s({30, 20, 10});
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 60, 1));
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 30);  // end of period 0
+}
+
+TEST(LargestPeriod, PicksLongestEarliest) {
+  LargestPeriodAdversary adv;
+  EpisodeSchedule s({20, 40, 40, 10});
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 110, 1));
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 60);  // end of the first 40 (period 1)
+}
+
+TEST(Observation, SkipsUnproductiveResiduals) {
+  ObservationAdversary adv;
+  EpisodeSchedule s({5, 5});
+  // residual <= c: not worth interrupting (Obs (b) proviso).
+  EXPECT_FALSE(adv.plan_interrupt(s, make_ctx(0, 10, 2)).has_value());
+}
+
+TEST(Observation, RespectsObsCWindow) {
+  ObservationAdversary adv;
+  // residual = 100, p = 2, c = 10: window = 100 − 20 = 80; the latest period
+  // starting strictly before 80 is period 2 (starts at 60).
+  EpisodeSchedule s({30, 30, 30, 10});
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 100, 2));
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 90);  // last instant of period 2
+}
+
+TEST(Observation, InterruptsAtLastInstants) {
+  ObservationAdversary adv;
+  EpisodeSchedule s({25, 25, 25, 25});
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 100, 1));
+  ASSERT_TRUE(tick.has_value());
+  // Must be a period end.
+  bool is_end = false;
+  for (std::size_t k = 0; k < s.size(); ++k) is_end |= (*tick == s.end(k));
+  EXPECT_TRUE(is_end);
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic owners
+// ---------------------------------------------------------------------------
+
+TEST(Poisson, DeterministicUnderSeed) {
+  PoissonAdversary a(50.0, 42), b(50.0, 42);
+  EpisodeSchedule s({100, 100, 100});
+  for (Ticks start : {Ticks{0}, Ticks{300}, Ticks{600}}) {
+    EXPECT_EQ(a.plan_interrupt(s, make_ctx(start, 900 - start, 3)),
+              b.plan_interrupt(s, make_ctx(start, 900 - start, 3)));
+  }
+}
+
+TEST(Poisson, TicksAlwaysInsideEpisode) {
+  PoissonAdversary adv(30.0, 7);
+  EpisodeSchedule s({50, 50});
+  for (int trial = 0; trial < 200; ++trial) {
+    adv.reset(static_cast<std::uint64_t>(trial));
+    const auto tick = adv.plan_interrupt(s, make_ctx(0, 100, 1));
+    if (tick) {
+      EXPECT_GE(*tick, 1);
+      EXPECT_LE(*tick, 100);
+    }
+  }
+}
+
+TEST(Poisson, InterruptFrequencyTracksRate) {
+  // Mean gap 100 ticks over a 100-tick episode: ~63% hit probability
+  // (1 − e^{−1}); count over many seeds.
+  int hits = 0;
+  const int trials = 2000;
+  EpisodeSchedule s({100});
+  for (int trial = 0; trial < trials; ++trial) {
+    PoissonAdversary adv(100.0, static_cast<std::uint64_t>(trial) + 1);
+    hits += adv.plan_interrupt(s, make_ctx(0, 100, 1)).has_value();
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.632, 0.05);
+}
+
+TEST(Poisson, RejectsBadRate) {
+  EXPECT_THROW(PoissonAdversary(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(PoissonAdversary(-5.0, 1), std::invalid_argument);
+}
+
+TEST(Pareto, ArrivalsRespectScaleFloor) {
+  ParetoSessionAdversary adv(200.0, 1.2, 99);
+  EpisodeSchedule s({100});
+  // First arrival can't land before scale=200 > episode end=100.
+  EXPECT_FALSE(adv.plan_interrupt(s, make_ctx(0, 100, 1)).has_value());
+}
+
+TEST(Pareto, EventuallyInterruptsLongEpisodes) {
+  ParetoSessionAdversary adv(50.0, 2.0, 3);
+  EpisodeSchedule s({100000});
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 100000, 1));
+  EXPECT_TRUE(tick.has_value());
+}
+
+TEST(Uniform, ProbabilityZeroNeverFires) {
+  UniformEpisodeAdversary adv(0.0, 5);
+  EpisodeSchedule s({100});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(adv.plan_interrupt(s, make_ctx(0, 100, 1)).has_value());
+  }
+}
+
+TEST(Uniform, ProbabilityOneAlwaysFiresInRange) {
+  UniformEpisodeAdversary adv(1.0, 5);
+  EpisodeSchedule s({100});
+  for (int i = 0; i < 100; ++i) {
+    const auto tick = adv.plan_interrupt(s, make_ctx(0, 100, 1));
+    ASSERT_TRUE(tick.has_value());
+    EXPECT_GE(*tick, 1);
+    EXPECT_LE(*tick, 100);
+  }
+}
+
+TEST(Uniform, RejectsBadProbability) {
+  EXPECT_THROW(UniformEpisodeAdversary(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(UniformEpisodeAdversary(1.1, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RejectsNonIncreasingTimes) {
+  EXPECT_THROW(InterruptTrace({10, 10}), std::invalid_argument);
+  EXPECT_THROW(InterruptTrace({10, 5}), std::invalid_argument);
+  EXPECT_THROW(InterruptTrace({0}), std::invalid_argument);
+  InterruptTrace ok({5, 10});
+  EXPECT_THROW(ok.append(10), std::invalid_argument);
+  ok.append(11);
+  EXPECT_EQ(ok.size(), 3u);
+}
+
+TEST(TraceAdversary, FiresAtRecordedAbsoluteTimes) {
+  TraceAdversary adv(InterruptTrace({70}));
+  EpisodeSchedule s({50, 50});
+  // Episode starting at absolute 0: interrupt at offset 70.
+  const auto tick = adv.plan_interrupt(s, make_ctx(0, 100, 1));
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 70);
+}
+
+TEST(TraceAdversary, TranslatesToEpisodeRelativeOffsets) {
+  TraceAdversary adv(InterruptTrace({130}));
+  EpisodeSchedule s({50, 50});
+  const auto tick = adv.plan_interrupt(s, make_ctx(100, 100, 1));
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 30);
+}
+
+TEST(TraceAdversary, SkipsStaleAndFutureEntries) {
+  TraceAdversary adv(InterruptTrace({10, 500}));
+  EpisodeSchedule s({50, 50});
+  // Episode starts at 100: entry 10 is stale, 500 beyond the episode.
+  EXPECT_FALSE(adv.plan_interrupt(s, make_ctx(100, 100, 1)).has_value());
+}
+
+TEST(RecordingAdversary, CapturesInnerDecisions) {
+  FirstPeriodAdversary inner;
+  RecordingAdversary rec(inner);
+  EpisodeSchedule s({30, 30});
+  rec.plan_interrupt(s, make_ctx(0, 60, 2));
+  rec.plan_interrupt(s, make_ctx(60, 60, 1));
+  ASSERT_EQ(rec.trace().size(), 2u);
+  EXPECT_EQ(rec.trace().times()[0], 30);
+  EXPECT_EQ(rec.trace().times()[1], 90);
+}
+
+TEST(RecordingAdversary, ReplayReproducesInnerBehaviour) {
+  FirstPeriodAdversary inner;
+  RecordingAdversary rec(inner);
+  EpisodeSchedule s({30, 30});
+  const auto direct = rec.plan_interrupt(s, make_ctx(0, 60, 1));
+  TraceAdversary replay{rec.trace()};
+  const auto replayed = replay.plan_interrupt(s, make_ctx(0, 60, 1));
+  EXPECT_EQ(direct, replayed);
+}
+
+}  // namespace
+}  // namespace nowsched::adversary

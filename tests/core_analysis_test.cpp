@@ -1,0 +1,98 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+#include "core/equalized.h"
+
+namespace nowsched {
+namespace {
+
+constexpr Params kParams{10};
+
+TEST(Analyze, CountsAndExtremes) {
+  const EpisodeSchedule s({30, 15, 8, 12});
+  const auto d = analyze(s, kParams);
+  EXPECT_EQ(d.periods, 4u);
+  EXPECT_EQ(d.total, 65);
+  EXPECT_EQ(d.min_period, 8);
+  EXPECT_EQ(d.max_period, 30);
+  EXPECT_DOUBLE_EQ(d.mean_period, 65.0 / 4.0);
+  EXPECT_EQ(d.productive_periods, 3u);      // 30, 15, 12 exceed c=10
+  EXPECT_EQ(d.immune_band_periods, 2u);     // 15, 12 in (10, 20]
+  EXPECT_EQ(d.setup_overhead, 10 + 10 + 8 + 10);
+  EXPECT_EQ(d.uninterrupted_work, 20 + 5 + 0 + 2);
+  EXPECT_EQ(d.worst_kill_loss, 30);
+}
+
+TEST(Analyze, EmptySchedule) {
+  const auto d = analyze(EpisodeSchedule{}, kParams);
+  EXPECT_EQ(d.periods, 0u);
+  EXPECT_EQ(d.total, 0);
+  EXPECT_EQ(d.setup_overhead, 0);
+}
+
+TEST(Analyze, OverheadFractionConsistent) {
+  const EpisodeSchedule s({20, 20, 20, 20, 20});
+  const auto d = analyze(s, kParams);
+  EXPECT_DOUBLE_EQ(d.overhead_fraction, 0.5);
+  // Conservation: setup + work == total for schedules with no sub-c waste.
+  EXPECT_EQ(d.setup_overhead + d.uninterrupted_work, d.total);
+}
+
+TEST(Analyze, ToStringMentionsKeyNumbers) {
+  const auto d = analyze(EpisodeSchedule({30, 15}), kParams);
+  const auto str = d.to_string();
+  EXPECT_NE(str.find("m=2"), std::string::npos);
+  EXPECT_NE(str.find("total=45"), std::string::npos);
+}
+
+TEST(KillProfile, MatchesHandComputation) {
+  // U=60, c=10, schedule {30, 20, 10}.
+  // k=0: banked 0 + (60−30−10) = 20; k=1: 20 + (60−50−10)=0 → 20;
+  // k=2: 20+10 + 0 = 30.
+  const EpisodeSchedule s({30, 20, 10});
+  const auto profile = kill_option_profile_p1(s, 60, kParams);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0], 20);
+  EXPECT_EQ(profile[1], 20);
+  EXPECT_EQ(profile[2], 30);
+}
+
+TEST(KillProfile, MinimumEqualsGuaranteedWorkWhenBelowUninterrupted) {
+  const Params params{16};
+  const Ticks u = 16 * 512;
+  const auto opt = optimal_p1_schedule(u, params);
+  const auto profile = kill_option_profile_p1(opt.schedule, u, params);
+  const Ticks min_option = *std::min_element(profile.begin(), profile.end());
+  EXPECT_EQ(std::min(min_option, opt.schedule.work_if_uninterrupted(params)),
+            guaranteed_work_p1(opt.schedule, u, params));
+}
+
+TEST(EqualizationSpread, NearZeroForOptimalSchedules) {
+  const Params params{16};
+  for (Ticks ratio : {Ticks{128}, Ticks{512}, Ticks{2048}}) {
+    const Ticks u = ratio * params.c;
+    const auto opt = optimal_p1_schedule(u, params);
+    EXPECT_LE(equalization_spread_p1(opt.schedule, u, params), 2 * params.c)
+        << "U/c=" << ratio;
+    const auto eq = equalized_episode(u, 1, params);
+    EXPECT_LE(equalization_spread_p1(eq, u, params), 3 * params.c) << "U/c=" << ratio;
+  }
+}
+
+TEST(EqualizationSpread, LargeForNaiveSchedules) {
+  // A wildly unbalanced schedule has a big spread — the diagnostic flags it.
+  const Params params{16};
+  const Ticks u = 16 * 512;
+  const EpisodeSchedule lopsided({u / 2, u / 4, u / 8, u / 8});
+  EXPECT_GT(equalization_spread_p1(lopsided, u, params), u / 8);
+}
+
+TEST(EqualizationSpread, DegenerateSchedulesReportZero) {
+  const EpisodeSchedule tiny({50});
+  EXPECT_EQ(equalization_spread_p1(tiny, 50, kParams), 0);
+}
+
+}  // namespace
+}  // namespace nowsched

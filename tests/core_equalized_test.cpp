@@ -1,0 +1,158 @@
+#include "core/equalized.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/closed_form.h"
+
+namespace nowsched {
+namespace {
+
+constexpr Params kParams{16};
+
+TEST(AnalyticW, ExactBaseCase) {
+  EXPECT_DOUBLE_EQ(analytic_guaranteed_work(0, 100.0, 16.0), 84.0);
+  EXPECT_DOUBLE_EQ(analytic_guaranteed_work(0, 10.0, 16.0), 0.0);
+  EXPECT_DOUBLE_EQ(analytic_guaranteed_work(0, -5.0, 16.0), 0.0);
+}
+
+TEST(AnalyticW, MatchesTableTwoAtPEqualsOne) {
+  // W(1)[U] ≈ U − √(2cU) − c/2.
+  const double u = 16384.0, c = 16.0;
+  EXPECT_NEAR(analytic_guaranteed_work(1, u, c), u - std::sqrt(2 * c * u) - c / 2,
+              1e-9);
+}
+
+TEST(AnalyticW, DeficitCoefficientGrowsWithQ) {
+  const double u = 1e6, c = 16.0;
+  for (int q = 1; q < 6; ++q) {
+    EXPECT_GT(analytic_guaranteed_work(q, u, c), 0.0);
+    EXPECT_GT(analytic_guaranteed_work(q, u, c), analytic_guaranteed_work(q + 1, u, c));
+  }
+}
+
+TEST(AnalyticW, ClampedAtZeroForTinyLifespans) {
+  EXPECT_DOUBLE_EQ(analytic_guaranteed_work(2, 10.0, 16.0), 0.0);
+}
+
+class InverseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(InverseRoundTrip, InverseIsRightInverseOnPositiveBranch) {
+  const int q = GetParam();
+  const double c = 16.0;
+  for (double v : {0.0, 1.0, 10.0, 100.0, 5000.0, 1e6}) {
+    const double x = analytic_guaranteed_work_inverse(q, v, c);
+    EXPECT_NEAR(analytic_guaranteed_work(q, x, c), v, 1e-6 * (1.0 + v)) << "v=" << v;
+  }
+}
+
+TEST_P(InverseRoundTrip, InverseIsMonotone) {
+  const int q = GetParam();
+  const double c = 16.0;
+  double prev = analytic_guaranteed_work_inverse(q, 0.0, c);
+  for (double v = 10.0; v < 1e5; v *= 3.0) {
+    const double x = analytic_guaranteed_work_inverse(q, v, c);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, InverseRoundTrip, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(EqualizedEpisode, ZeroInterruptsIsSinglePeriod) {
+  const auto s = equalized_episode(1000, 0, kParams);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total(), 1000);
+}
+
+struct EqCase {
+  Ticks u;
+  int p;
+};
+
+class EqualizedProperty : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(EqualizedProperty, SpansLifespan) {
+  const auto [u, p] = GetParam();
+  EXPECT_EQ(equalized_episode(u, p, kParams).total(), u);
+}
+
+TEST_P(EqualizedProperty, ForcedPeriodsAreProductive) {
+  const auto [u, p] = GetParam();
+  if (p == 0) return;
+  const auto s = equalized_episode(u, p, kParams);
+  if (s.size() < 3) return;
+  // Prefix periods (before the immune tail of ~3c/2 pieces) must exceed c —
+  // the Thm 4.1 "fully productive" discipline. Monotone descent is a p=1
+  // structural fact only (for larger p the √-curvature of W(p−1) lets
+  // lengths wobble a few ticks mid-episode) and is asserted below.
+  std::size_t k = 0;
+  while (k + 1 < s.size() && s.period(k) > 2 * kParams.c) {
+    EXPECT_GT(s.period(k), kParams.c) << "k=" << k;
+    if (p <= 2) {
+      EXPECT_GE(s.period(k) + 1, s.period(k + 1)) << "k=" << k;
+    }
+    ++k;
+  }
+}
+
+TEST_P(EqualizedProperty, RealizedValueMatchesP1Evaluator) {
+  const auto [u, p] = GetParam();
+  if (p != 1) return;
+  double v = 0.0;
+  const auto s = equalized_episode(u, p, kParams, &v);
+  const Ticks exact = guaranteed_work_p1(s, u, kParams);
+  // The bisected analytic V and the exact game value agree to low order.
+  EXPECT_NEAR(static_cast<double>(exact), v, 2.0 * kParams.c + 4.0);
+}
+
+TEST_P(EqualizedProperty, InterruptOptionsAreEqualizedAtP1) {
+  // The defining property: for p=1, every kill-period-k option costs the
+  // adversary nearly the same.
+  const auto [u, p] = GetParam();
+  if (p != 1 || u < 64 * kParams.c) return;
+  const auto s = equalized_episode(u, p, kParams);
+  const Ticks value = guaranteed_work_p1(s, u, kParams);
+  for (std::size_t k = 0; k + 2 < s.size(); ++k) {
+    const Ticks option =
+        s.banked_work(k, kParams) + positive_sub(positive_sub(u, s.end(k)), kParams.c);
+    EXPECT_GE(option + 1, value);
+    EXPECT_LE(option - value, 3 * kParams.c) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EqualizedProperty,
+                         ::testing::Values(EqCase{512, 1}, EqCase{4096, 1},
+                                           EqCase{16384, 1}, EqCase{4096, 2},
+                                           EqCase{16384, 3}, EqCase{16384, 5},
+                                           EqCase{100, 2}, EqCase{33, 1},
+                                           EqCase{65536, 4}, EqCase{9999, 0}));
+
+TEST(EqualizedEpisode, TinyLifespanDegradesToSinglePeriod) {
+  for (Ticks u : {1, 8, 16, 32, 48}) {
+    const auto s = equalized_episode(u, 2, kParams);
+    EXPECT_EQ(s.total(), u);
+  }
+}
+
+TEST(EqualizedEpisode, RejectsBadInputs) {
+  EXPECT_THROW(equalized_episode(0, 1, kParams), std::invalid_argument);
+  EXPECT_THROW(equalized_episode(10, -1, kParams), std::invalid_argument);
+  EXPECT_THROW(analytic_guaranteed_work(-1, 10.0, 16.0), std::invalid_argument);
+  EXPECT_THROW(analytic_guaranteed_work_inverse(1, -1.0, 16.0), std::invalid_argument);
+}
+
+TEST(EqualizedPolicy, NameAndSpanning) {
+  EqualizedGuidelinePolicy policy;
+  EXPECT_EQ(policy.name(), "equalized-guideline");
+  for (Ticks l : {1, 100, 10000}) {
+    for (int q : {0, 1, 3}) {
+      EXPECT_EQ(policy.episode(l, q, kParams).total(), l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nowsched

@@ -1,0 +1,143 @@
+#include "core/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closed_form.h"
+
+namespace nowsched {
+namespace {
+
+constexpr Params kParams{10};
+
+// ---------------------------------------------------------------------------
+// Thm 4.1 — make_productive
+// ---------------------------------------------------------------------------
+
+TEST(MakeProductive, MergesShortNonTerminalPeriods) {
+  // 5 <= c merges into the next period.
+  const auto out = make_productive(EpisodeSchedule({5, 20, 30}), kParams);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.period(0), 25);
+  EXPECT_EQ(out.period(1), 30);
+}
+
+TEST(MakeProductive, KeepsShortTerminalPeriod) {
+  const auto out = make_productive(EpisodeSchedule({20, 30, 5}), kParams);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.period(2), 5);
+  EXPECT_TRUE(out.is_productive(kParams));
+}
+
+TEST(MakeProductive, CascadingMerges) {
+  // 3,3,3 all merge forward into the 20.
+  const auto out = make_productive(EpisodeSchedule({3, 3, 3, 20}), kParams);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.period(0), 29);
+}
+
+TEST(MakeProductive, PreservesTotalLifespan) {
+  const EpisodeSchedule in({1, 9, 10, 11, 2, 30, 10});
+  const auto out = make_productive(in, kParams);
+  EXPECT_EQ(out.total(), in.total());
+  EXPECT_TRUE(out.is_productive(kParams));
+}
+
+TEST(MakeProductive, IdempotentOnProductiveSchedules) {
+  const EpisodeSchedule in({30, 20, 11, 5});
+  ASSERT_TRUE(in.is_productive(kParams));
+  EXPECT_EQ(make_productive(in, kParams), in);
+}
+
+TEST(MakeProductive, NeverDecreasesGuaranteedWorkP1) {
+  // Thm 4.1's guarantee, checked with the exact 1-interrupt evaluator on a
+  // batch of deliberately awkward schedules.
+  const std::vector<std::vector<Ticks>> cases = {
+      {5, 20, 30, 2, 40},        {1, 1, 1, 1, 96},      {10, 10, 10, 10, 10, 50},
+      {9, 11, 9, 11, 9, 11, 40}, {2, 98}, {50, 3, 47},
+  };
+  for (const auto& periods : cases) {
+    const EpisodeSchedule in{std::vector<Ticks>(periods)};
+    const Ticks u = in.total();
+    const auto out = make_productive(in, kParams);
+    EXPECT_GE(guaranteed_work_p1(out, u, kParams), guaranteed_work_p1(in, u, kParams))
+        << "case " << in.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thm 4.2 — split_immune_tail
+// ---------------------------------------------------------------------------
+
+TEST(SplitImmuneTail, ShortPeriodsUntouched) {
+  const EpisodeSchedule in({50, 15, 18});
+  const auto out = split_immune_tail(in, 2, kParams);
+  // 15 and 18 are both <= 2c = 20, so nothing changes.
+  EXPECT_EQ(out, in);
+}
+
+TEST(SplitImmuneTail, LongImmunePeriodSplitsIntoBand) {
+  const EpisodeSchedule in({50, 45});
+  const auto out = split_immune_tail(in, 1, kParams);
+  // 45 > 2c=20 splits into ⌈45/20⌉ = 3 pieces of 15 — inside (c, 2c].
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.period(0), 50);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out.period(i), kParams.c);
+    EXPECT_LE(out.period(i), 2 * kParams.c);
+  }
+  EXPECT_EQ(out.total(), in.total());
+}
+
+TEST(SplitImmuneTail, NonImmunePrefixPreserved) {
+  const EpisodeSchedule in({100, 100, 100});
+  const auto out = split_immune_tail(in, 1, kParams);
+  EXPECT_EQ(out.period(0), 100);
+  EXPECT_EQ(out.period(1), 100);
+  EXPECT_GT(out.size(), 3u);
+}
+
+TEST(SplitImmuneTail, ImmuneCountLargerThanScheduleIsWholeSchedule) {
+  const EpisodeSchedule in({100, 100});
+  const auto out = split_immune_tail(in, 99, kParams);
+  EXPECT_EQ(out.total(), 200);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out.period(i), kParams.c);
+    EXPECT_LE(out.period(i), 2 * kParams.c);
+  }
+}
+
+TEST(SplitImmuneTail, ZeroImmuneIsIdentity) {
+  const EpisodeSchedule in({100, 100});
+  EXPECT_EQ(split_immune_tail(in, 0, kParams), in);
+}
+
+TEST(SplitImmuneTail, SplitPiecesBalanced) {
+  const EpisodeSchedule in({41});
+  const auto out = split_immune_tail(in, 1, kParams);
+  // ⌈41/20⌉ = 3 pieces: 14,14,13 or similar; all in (c, 2c].
+  ASSERT_EQ(out.size(), 3u);
+  Ticks lo = out.period(0), hi = out.period(0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    lo = std::min(lo, out.period(i));
+    hi = std::max(hi, out.period(i));
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(SplitImmuneTail, IncreasesUninterruptedWorkOfImmuneRegion) {
+  // Splitting a long period into (c, 2c] pieces pays more setup but the
+  // adversary never interrupts an immune region — what matters for Thm 4.2
+  // is that work production does not DECREASE when the region's killed
+  // exposure shrinks. With no interrupts the split costs extra setup:
+  const EpisodeSchedule in({100});
+  const auto out = split_immune_tail(in, 1, kParams);
+  // uninterrupted: in = 90, out = 5 pieces of 20 -> 5*(20-10) = 50.
+  EXPECT_LT(out.work_if_uninterrupted(kParams), in.work_if_uninterrupted(kParams));
+  // BUT against an interrupt anywhere in the region, the split banks the
+  // completed pieces where the single long period banks nothing:
+  EXPECT_EQ(in.banked_work(0, kParams), 0);
+  EXPECT_GT(out.banked_work(out.size() - 1, kParams), 0);
+}
+
+}  // namespace
+}  // namespace nowsched

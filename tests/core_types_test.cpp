@@ -1,0 +1,86 @@
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace nowsched {
+namespace {
+
+TEST(PositiveSub, BasicCases) {
+  EXPECT_EQ(positive_sub(5, 3), 2);
+  EXPECT_EQ(positive_sub(3, 5), 0);
+  EXPECT_EQ(positive_sub(4, 4), 0);
+  EXPECT_EQ(positive_sub(0, 0), 0);
+  EXPECT_EQ(positive_sub(7, 0), 7);
+}
+
+TEST(PositiveSub, IsConstexpr) {
+  static_assert(positive_sub(10, 4) == 6);
+  static_assert(positive_sub(4, 10) == 0);
+  SUCCEED();
+}
+
+// ⊖ properties the paper's accounting relies on, exercised over a grid.
+class PositiveSubProperty : public ::testing::TestWithParam<std::pair<Ticks, Ticks>> {};
+
+TEST_P(PositiveSubProperty, NeverNegative) {
+  const auto [x, y] = GetParam();
+  EXPECT_GE(positive_sub(x, y), 0);
+}
+
+TEST_P(PositiveSubProperty, BoundedByMinuend) {
+  const auto [x, y] = GetParam();
+  EXPECT_LE(positive_sub(x, y), x >= 0 ? x : 0);
+}
+
+TEST_P(PositiveSubProperty, AgreesWithPlainSubtractionWhenLarge) {
+  const auto [x, y] = GetParam();
+  if (x >= y) {
+    EXPECT_EQ(positive_sub(x, y), x - y);
+  }
+}
+
+TEST_P(PositiveSubProperty, MonotoneInMinuend) {
+  const auto [x, y] = GetParam();
+  EXPECT_LE(positive_sub(x, y), positive_sub(x + 1, y));
+  EXPECT_LE(positive_sub(x + 1, y) - positive_sub(x, y), 1);
+}
+
+TEST_P(PositiveSubProperty, AntitoneInSubtrahend) {
+  const auto [x, y] = GetParam();
+  EXPECT_GE(positive_sub(x, y), positive_sub(x, y + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PositiveSubProperty,
+    ::testing::Values(std::pair<Ticks, Ticks>{0, 0}, std::pair<Ticks, Ticks>{0, 5},
+                      std::pair<Ticks, Ticks>{5, 0}, std::pair<Ticks, Ticks>{5, 5},
+                      std::pair<Ticks, Ticks>{100, 16}, std::pair<Ticks, Ticks>{16, 100},
+                      std::pair<Ticks, Ticks>{1'000'000, 999'999},
+                      std::pair<Ticks, Ticks>{999'999, 1'000'000}));
+
+TEST(Params, ValidityAndRequire) {
+  EXPECT_TRUE(Params{1}.valid());
+  EXPECT_TRUE(Params{16}.valid());
+  EXPECT_FALSE(Params{0}.valid());
+  EXPECT_FALSE(Params{-3}.valid());
+  EXPECT_NO_THROW(require_valid(Params{4}));
+  EXPECT_THROW(require_valid(Params{0}), std::invalid_argument);
+}
+
+TEST(Params, DefaultIsValid) {
+  Params p;
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.c, 16);
+}
+
+TEST(Opportunity, ValidityAndRequire) {
+  EXPECT_TRUE((Opportunity{100, 2}.valid()));
+  EXPECT_TRUE((Opportunity{0, 0}.valid()));
+  EXPECT_FALSE((Opportunity{-1, 0}.valid()));
+  EXPECT_FALSE((Opportunity{10, -1}.valid()));
+  EXPECT_THROW(require_valid(Opportunity{10, -1}), std::invalid_argument);
+  EXPECT_NO_THROW(require_valid(Opportunity{10, 1}));
+}
+
+}  // namespace
+}  // namespace nowsched

@@ -1,0 +1,193 @@
+// Randomized cross-checks: every component validated against an independent
+// implementation or invariant on randomly generated instances. Seeds are
+// fixed, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/equalized.h"
+#include "core/guidelines.h"
+#include "core/transforms.h"
+#include "solver/fast_solver.h"
+#include "solver/nonadaptive_eval.h"
+#include "solver/policy_eval.h"
+#include "solver/reference_solver.h"
+#include "util/rng.h"
+
+namespace nowsched {
+namespace {
+
+/// A policy that cuts episodes pseudo-randomly (but deterministically per
+/// (L, q)) — a worst-case stress for the evaluator's assumptions.
+class RandomPolicy final : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "random-policy"; }
+  EpisodeSchedule episode(Ticks residual, int q, const Params&) const override {
+    util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(residual) * 31 +
+                           static_cast<std::uint64_t>(q)));
+    std::vector<Ticks> periods;
+    Ticks left = residual;
+    while (left > 0) {
+      const Ticks t = rng.uniform_int(1, std::max<Ticks>(1, left / 2 + 1));
+      periods.push_back(t);
+      left -= t;
+      if (periods.size() > 40) {  // cap length; dump the rest in one period
+        if (left > 0) periods.push_back(left);
+        break;
+      }
+    }
+    return EpisodeSchedule(std::move(periods));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Independent, memoized game-tree evaluation of a policy (plain recursion,
+/// no level tables) — the oracle for evaluate_policy.
+Ticks game_tree_value(const SchedulingPolicy& policy, Ticks lifespan, int q,
+                      const Params& params,
+                      std::map<std::pair<Ticks, int>, Ticks>& memo) {
+  if (lifespan <= 0) return 0;
+  const auto key = std::make_pair(lifespan, q);
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  const auto episode = policy.episode(lifespan, q, params);
+  Ticks best = episode.work_if_uninterrupted(params);
+  if (q > 0) {
+    Ticks banked = 0;
+    for (std::size_t k = 0; k < episode.size(); ++k) {
+      const Ticks rest = positive_sub(lifespan, episode.end(k));
+      best = std::min(best,
+                      banked + game_tree_value(policy, rest, q - 1, params, memo));
+      banked += positive_sub(episode.period(k), params.c);
+    }
+  }
+  memo[key] = best;
+  return best;
+}
+
+TEST(Fuzz, PolicyEvaluatorMatchesGameTreeOnRandomPolicies) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 24; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(2, 24))};
+    const Ticks u = rng.uniform_int(20, 400);
+    const int p = static_cast<int>(rng.uniform_int(0, 3));
+    const RandomPolicy policy(rng.next());
+    std::map<std::pair<Ticks, int>, Ticks> memo;
+    const Ticks expected = game_tree_value(policy, u, p, params, memo);
+    EXPECT_EQ(solver::evaluate_policy(policy, u, p, params), expected)
+        << "trial " << trial << " c=" << params.c << " u=" << u << " p=" << p;
+  }
+}
+
+TEST(Fuzz, SolversAgreeOnRandomParameters) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(1, 40))};
+    const Ticks max_l = rng.uniform_int(50, 500);
+    const int max_p = static_cast<int>(rng.uniform_int(0, 4));
+    const auto ref = solver::solve_reference(max_p, max_l, params);
+    const auto fast = solver::solve_fast(max_p, max_l, params);
+    for (int p = 0; p <= max_p; ++p) {
+      for (Ticks l = 0; l <= max_l; ++l) {
+        ASSERT_EQ(fast.value(p, l), ref.value(p, l))
+            << "trial " << trial << " c=" << params.c << " p=" << p << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, FromRealAlwaysSpansTotal) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ticks total = rng.uniform_int(1, 100000);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 30));
+    std::vector<double> lengths(n);
+    for (auto& x : lengths) x = rng.uniform(-2.0, 50.0);
+    const auto sched = EpisodeSchedule::from_real(lengths, total);
+    ASSERT_EQ(sched.total(), total) << "trial " << trial;
+    for (std::size_t i = 0; i < sched.size(); ++i) ASSERT_GE(sched.period(i), 1);
+  }
+}
+
+TEST(Fuzz, MakeProductiveNeverDecreasesCommittedValue) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(2, 20))};
+    std::vector<Ticks> periods;
+    Ticks total = 0;
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 14));
+    for (std::size_t i = 0; i < m; ++i) {
+      const Ticks t = rng.uniform_int(1, 3 * params.c);
+      periods.push_back(t);
+      total += t;
+    }
+    const EpisodeSchedule raw(std::move(periods));
+    const auto productive = make_productive(raw, params);
+    for (int p = 0; p <= 3; ++p) {
+      ASSERT_GE(solver::nonadaptive_guaranteed_work(productive, total, p, params),
+                solver::nonadaptive_guaranteed_work(raw, total, p, params))
+          << "trial " << trial << " p=" << p;
+    }
+  }
+}
+
+TEST(Fuzz, GuidelinePoliciesNeverBeatTheTable) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(4, 32))};
+    const Ticks u = rng.uniform_int(200, 1500);
+    const int p = static_cast<int>(rng.uniform_int(1, 3));
+    const auto table = solver::solve_reference(p, u, params);
+    const AdaptiveGuidelinePolicy printed;
+    const EqualizedGuidelinePolicy equalized;
+    const NonAdaptiveGuidelinePolicy restart;
+    for (const SchedulingPolicy* policy :
+         {static_cast<const SchedulingPolicy*>(&printed),
+          static_cast<const SchedulingPolicy*>(&equalized),
+          static_cast<const SchedulingPolicy*>(&restart)}) {
+      ASSERT_LE(solver::evaluate_policy(*policy, u, p, params), table.value(p, u))
+          << policy->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(Fuzz, SplitImmuneTailPreservesTotalAndBand) {
+  util::Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(2, 30))};
+    std::vector<Ticks> periods;
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    for (std::size_t i = 0; i < m; ++i) {
+      periods.push_back(rng.uniform_int(1, 8 * params.c));
+    }
+    const EpisodeSchedule raw(std::move(periods));
+    const auto immune = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    const auto out = split_immune_tail(raw, immune, params);
+    ASSERT_EQ(out.total(), raw.total());
+    // Every split piece in the immune region obeys the band where feasible:
+    // pieces longer than 2c may only appear among non-immune prefix periods.
+    const std::size_t kept_prefix = raw.size() - std::min(immune, raw.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < kept_prefix; ++i, ++j) {
+      ASSERT_EQ(out.period(j), raw.period(i));
+    }
+    for (; j < out.size(); ++j) ASSERT_LE(out.period(j), 2 * params.c);
+  }
+}
+
+TEST(Fuzz, EqualizedEpisodeAlwaysFeasible) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Params params{static_cast<Ticks>(rng.uniform_int(1, 64))};
+    const Ticks u = rng.uniform_int(1, 60000);
+    const int p = static_cast<int>(rng.uniform_int(0, 6));
+    const auto sched = equalized_episode(u, p, params);
+    ASSERT_EQ(sched.total(), u) << "c=" << params.c << " u=" << u << " p=" << p;
+    ASSERT_GE(sched.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace nowsched

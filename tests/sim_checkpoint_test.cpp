@@ -1,0 +1,114 @@
+#include "sim/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/heuristics.h"
+#include "adversary/trace.h"
+#include "core/baselines.h"
+#include "core/guidelines.h"
+#include "sim/session.h"
+
+namespace nowsched::sim {
+namespace {
+
+constexpr Params kParams{16};
+
+TEST(CheckpointMath, CompletedPeriodPaysPerCycleOverhead) {
+  const Checkpointing ckpt{100, 10};
+  // w = 330: 3 full cycles of 110 -> 3 checkpoints paid.
+  EXPECT_EQ(checkpointed_period_work(330, ckpt), 330 - 30);
+  // w = 99: no checkpoint needed before the period-end one.
+  EXPECT_EQ(checkpointed_period_work(99, ckpt), 99);
+  EXPECT_EQ(checkpointed_period_work(0, ckpt), 0);
+}
+
+TEST(CheckpointMath, SalvageCountsCompletedCheckpointsOnly) {
+  const Checkpointing ckpt{100, 10};
+  EXPECT_EQ(checkpoint_salvage(0, ckpt), 0);
+  EXPECT_EQ(checkpoint_salvage(99, ckpt), 0);     // mid first segment
+  EXPECT_EQ(checkpoint_salvage(110, ckpt), 100);  // one checkpoint done
+  EXPECT_EQ(checkpoint_salvage(219, ckpt), 100);  // second not yet complete
+  EXPECT_EQ(checkpoint_salvage(220, ckpt), 200);
+}
+
+TEST(CheckpointMath, ZeroCostCheckpointsSalvageEverythingInUnits) {
+  const Checkpointing ckpt{50, 0};
+  EXPECT_EQ(checkpointed_period_work(500, ckpt), 500);
+  EXPECT_EQ(checkpoint_salvage(275, ckpt), 250);  // floor to checkpoint units
+}
+
+TEST(CheckpointMath, RejectsInvalidParameters) {
+  EXPECT_THROW(checkpointed_period_work(10, Checkpointing{0, 5}), std::invalid_argument);
+  EXPECT_THROW(checkpoint_salvage(10, Checkpointing{5, -1}), std::invalid_argument);
+}
+
+TEST(CheckpointSession, NoInterruptsOnlyCostsOverhead) {
+  adversary::NoOpAdversary owner;
+  SingleBlockPolicy policy;
+  const Checkpointing ckpt{100, 10};
+  const auto with = run_session(policy, owner, Opportunity{1016, 1}, kParams, nullptr,
+                                ckpt);
+  const auto without = run_session(policy, owner, Opportunity{1016, 1}, kParams);
+  // Raw capacity 1000 -> 9 full cycles of 110 -> 90 ticks of overhead.
+  EXPECT_EQ(without.banked_work, 1000);
+  EXPECT_EQ(with.banked_work, 1000 - 90);
+  EXPECT_EQ(with.salvaged_work, 0);
+}
+
+TEST(CheckpointSession, InterruptSalvagesCheckpointedPrefix) {
+  // Single block of 1016 (capacity 1000), interrupted at absolute tick 600:
+  // productive elapsed = 600 − 16 = 584 -> 5 checkpoints -> salvage 500.
+  SingleBlockPolicy policy;
+  adversary::TraceAdversary owner(adversary::InterruptTrace({600}));
+  const Checkpointing ckpt{100, 10};
+  const auto metrics = run_session(policy, owner, Opportunity{1016, 1}, kParams,
+                                   nullptr, ckpt);
+  EXPECT_EQ(metrics.salvaged_work, 500);
+  // After the interrupt, residual 416 runs as a fresh single block:
+  // capacity 400, 3 cycles -> 30 overhead -> 370 banked.
+  EXPECT_EQ(metrics.banked_work, 500 + 370);
+  EXPECT_EQ(metrics.lost_work, 1000 - 500);
+}
+
+TEST(CheckpointSession, DraconianModelIsTheDefault) {
+  SingleBlockPolicy policy;
+  adversary::TraceAdversary owner(adversary::InterruptTrace({600}));
+  const auto metrics = run_session(policy, owner, Opportunity{1016, 1}, kParams);
+  EXPECT_EQ(metrics.salvaged_work, 0);
+  EXPECT_EQ(metrics.lost_work, 1000);
+}
+
+TEST(CheckpointSession, CheaperCheckpointsNeverHurtUnderFixedTrace) {
+  // Against identical interrupts, salvage is monotone in checkpoint density
+  // for the single-block policy (pure salvage, same overhead structure).
+  SingleBlockPolicy policy;
+  const Ticks u = 4096;
+  Ticks prev_banked = -1;
+  for (Ticks interval : {1024, 512, 256, 128, 64}) {
+    adversary::TraceAdversary owner(adversary::InterruptTrace({2000}));
+    const auto metrics = run_session(policy, owner, Opportunity{u, 1}, kParams,
+                                     nullptr, Checkpointing{interval, 0});
+    EXPECT_GE(metrics.banked_work, prev_banked) << "interval=" << interval;
+    prev_banked = metrics.banked_work;
+  }
+}
+
+TEST(CheckpointSession, GuidelineStillWorksWithCheckpointing) {
+  AdaptiveGuidelinePolicy policy;
+  adversary::FirstPeriodAdversary owner;
+  const auto metrics = run_session(policy, owner, Opportunity{2000, 2}, kParams,
+                                   nullptr, Checkpointing{64, 4});
+  EXPECT_EQ(metrics.lifespan_used, 2000);
+  EXPECT_GT(metrics.banked_work, 0);
+}
+
+TEST(CheckpointSession, RejectsInvalidSpec) {
+  SingleBlockPolicy policy;
+  adversary::NoOpAdversary owner;
+  EXPECT_THROW(run_session(policy, owner, Opportunity{100, 0}, kParams, nullptr,
+                           Checkpointing{0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nowsched::sim

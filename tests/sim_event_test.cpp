@@ -1,0 +1,87 @@
+#include "sim/event.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nowsched::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&](Simulator&) { order.push_back(3); });
+  sim.schedule_at(10, [&](Simulator&) { order.push_back(1); });
+  sim.schedule_at(20, [&](Simulator&) { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CallbacksMayScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void(Simulator&)> chain = [&](Simulator& s) {
+    ++fired;
+    if (fired < 5) s.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, ScheduleInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [](Simulator& s) {
+    EXPECT_THROW(s.schedule_at(5, [](Simulator&) {}), std::invalid_argument);
+  });
+  sim.run();
+  EXPECT_THROW(sim.schedule_after(-1, [](Simulator&) {}), std::invalid_argument);
+}
+
+TEST(Simulator, MaxEventsLimitsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(i, [&](Simulator&) { ++fired; });
+  }
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, NowAdvancesOnlyWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  sim.schedule_at(100, [](Simulator&) {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleProgresses) {
+  Simulator sim;
+  int count = 0;
+  std::function<void(Simulator&)> f = [&](Simulator& s) {
+    if (++count < 3) s.schedule_after(0, f);
+  };
+  sim.schedule_at(1, f);
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(sim.now(), 1);
+}
+
+}  // namespace
+}  // namespace nowsched::sim

@@ -1,0 +1,125 @@
+#include "sim/farm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/heuristics.h"
+#include "adversary/stochastic.h"
+#include "core/baselines.h"
+#include "core/guidelines.h"
+
+namespace nowsched::sim {
+namespace {
+
+constexpr Params kParams{16};
+
+WorkstationConfig station(const std::string& name, Ticks u, int p,
+                          PolicyPtr policy, std::shared_ptr<adversary::Adversary> owner,
+                          Ticks start = 0) {
+  WorkstationConfig cfg;
+  cfg.name = name;
+  cfg.opportunity = Opportunity{u, p};
+  cfg.params = kParams;
+  cfg.policy = std::move(policy);
+  cfg.owner = std::move(owner);
+  cfg.start_time = start;
+  return cfg;
+}
+
+TEST(Farm, SingleStationMatchesStandaloneSession) {
+  auto policy = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto bag = TaskBag::uniform(200, 5);
+  auto owner = std::make_shared<adversary::NoOpAdversary>();
+  const auto farm = run_farm({station("b1", 1000, 2, policy, owner)}, bag);
+
+  adversary::NoOpAdversary owner2;
+  auto bag2 = TaskBag::uniform(200, 5);
+  const auto solo = run_session(*policy, owner2, Opportunity{1000, 2}, kParams, &bag2);
+  EXPECT_EQ(farm.aggregate.banked_work, solo.banked_work);
+  EXPECT_EQ(farm.aggregate.tasks_completed, solo.tasks_completed);
+}
+
+TEST(Farm, MultipleStationsShareOneBag) {
+  auto policy = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto owner = std::make_shared<adversary::NoOpAdversary>();
+  auto bag = TaskBag::uniform(10000, 5);
+  const auto farm = run_farm({station("b1", 2000, 1, policy, owner),
+                              station("b2", 2000, 1, policy, owner),
+                              station("b3", 2000, 1, policy, owner)},
+                             bag);
+  ASSERT_EQ(farm.per_workstation.size(), 3u);
+  // Conservation across the shared bag.
+  EXPECT_EQ(farm.aggregate.tasks_completed + farm.tasks_left, 10000u);
+  EXPECT_EQ(farm.aggregate.task_work, bag.completed_work());
+  // All three consumed their full lifespans.
+  for (const auto& m : farm.per_workstation) EXPECT_EQ(m.lifespan_used, 2000);
+}
+
+TEST(Farm, ParallelStationsOutproduceOne) {
+  auto policy = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto owner = std::make_shared<adversary::NoOpAdversary>();
+  auto bag1 = TaskBag::uniform(100000, 5);
+  const auto one = run_farm({station("b1", 3000, 1, policy, owner)}, bag1);
+  auto bag4 = TaskBag::uniform(100000, 5);
+  const auto four = run_farm({station("b1", 3000, 1, policy, owner),
+                              station("b2", 3000, 1, policy, owner),
+                              station("b3", 3000, 1, policy, owner),
+                              station("b4", 3000, 1, policy, owner)},
+                             bag4);
+  EXPECT_GT(four.aggregate.task_work, 3 * one.aggregate.task_work);
+}
+
+TEST(Farm, StaggeredStartsExtendMakespan) {
+  auto policy = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto owner = std::make_shared<adversary::NoOpAdversary>();
+  auto bag = TaskBag::uniform(10000, 5);
+  const auto farm = run_farm({station("early", 1000, 0, policy, owner, 0),
+                              station("late", 1000, 0, policy, owner, 5000)},
+                             bag);
+  EXPECT_EQ(farm.makespan, 6000);
+}
+
+TEST(Farm, HeterogeneousPoliciesAndOwners) {
+  auto adaptive = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto chunky = std::make_shared<FixedChunkPolicy>(4.0);
+  auto noop = std::make_shared<adversary::NoOpAdversary>();
+  auto poisson = std::make_shared<adversary::PoissonAdversary>(200.0, 17);
+  auto bag = TaskBag::uniform(5000, 3);
+  const auto farm = run_farm({station("a", 2500, 2, adaptive, noop),
+                              station("b", 2500, 2, chunky, poisson)},
+                             bag);
+  ASSERT_EQ(farm.per_workstation.size(), 2u);
+  EXPECT_EQ(farm.aggregate.episodes,
+            farm.per_workstation[0].episodes + farm.per_workstation[1].episodes);
+  EXPECT_EQ(farm.aggregate.tasks_completed + farm.tasks_left, 5000u);
+}
+
+TEST(Farm, RejectsMisconfiguration) {
+  auto bag = TaskBag::uniform(10, 1);
+  EXPECT_THROW(run_farm({}, bag), std::invalid_argument);
+
+  WorkstationConfig missing;
+  missing.name = "x";
+  missing.opportunity = Opportunity{10, 0};
+  missing.params = kParams;
+  EXPECT_THROW(run_farm({missing}, bag), std::invalid_argument);
+
+  auto cfg = station("neg", 10, 0, std::make_shared<SingleBlockPolicy>(),
+                     std::make_shared<adversary::NoOpAdversary>());
+  cfg.start_time = -5;
+  EXPECT_THROW(run_farm({cfg}, bag), std::invalid_argument);
+}
+
+TEST(Farm, EventCountIsPositiveAndBounded) {
+  auto policy = std::make_shared<AdaptiveGuidelinePolicy>();
+  auto owner = std::make_shared<adversary::NoOpAdversary>();
+  auto bag = TaskBag::uniform(100, 5);
+  const auto farm = run_farm({station("b1", 1000, 1, policy, owner)}, bag);
+  EXPECT_GT(farm.events, 0u);
+  // At most one start + one event per period boundary + slack.
+  EXPECT_LT(farm.events, 4000u);
+}
+
+}  // namespace
+}  // namespace nowsched::sim

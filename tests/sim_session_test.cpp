@@ -1,0 +1,191 @@
+#include "sim/session.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/heuristics.h"
+#include "adversary/stochastic.h"
+#include "adversary/trace.h"
+#include "core/baselines.h"
+#include "core/guidelines.h"
+#include "solver/policy_eval.h"
+
+namespace nowsched::sim {
+namespace {
+
+constexpr Params kParams{16};
+
+/// Converts a solver BestResponse into an absolute-time interrupt trace by
+/// replaying the policy's episodes move by move.
+adversary::InterruptTrace to_trace(const solver::BestResponse& br,
+                                   const SchedulingPolicy& policy, Ticks lifespan,
+                                   int p, const Params& params) {
+  adversary::InterruptTrace trace;
+  Ticks consumed = 0;
+  Ticks l = lifespan;
+  int q = p;
+  for (const auto& move : br.moves) {
+    const auto episode = policy.episode(l, q, params);
+    if (!move.killed) break;
+    const Ticks tick = episode.end(*move.killed);
+    trace.append(consumed + tick);
+    consumed += tick;
+    l -= tick;
+    --q;
+  }
+  return trace;
+}
+
+TEST(Session, UninterruptedRunBanksAllWork) {
+  adversary::NoOpAdversary owner;
+  AdaptiveGuidelinePolicy policy;
+  const Opportunity opp{1000, 3};
+  const auto metrics = run_session(policy, owner, opp, kParams);
+  const auto episode = policy.episode(1000, 3, kParams);
+  EXPECT_EQ(metrics.banked_work, episode.work_if_uninterrupted(kParams));
+  EXPECT_EQ(metrics.interrupts, 0);
+  EXPECT_EQ(metrics.episodes, 1u);
+  EXPECT_EQ(metrics.periods_completed, episode.size());
+  EXPECT_EQ(metrics.lifespan_used, 1000);
+}
+
+TEST(Session, LifespanConservation) {
+  // banked + comm + killed-capacity bookkeeping must add back to U.
+  adversary::FirstPeriodAdversary owner;
+  AdaptiveGuidelinePolicy policy;
+  const auto metrics = run_session(policy, owner, Opportunity{2000, 2}, kParams);
+  EXPECT_EQ(metrics.lifespan_used, 2000);
+  EXPECT_EQ(metrics.interrupts, 2);
+  EXPECT_EQ(metrics.episodes, 3u);  // 2 interrupted + 1 final
+}
+
+TEST(Session, ZeroLifespanFinishesImmediately) {
+  adversary::NoOpAdversary owner;
+  SingleBlockPolicy policy;
+  const auto metrics = run_session(policy, owner, Opportunity{0, 1}, kParams);
+  EXPECT_EQ(metrics.banked_work, 0);
+  EXPECT_EQ(metrics.episodes, 0u);
+}
+
+TEST(Session, MinimaxTraceReproducesAnalyticGuaranteedWork) {
+  // The keystone integration check: the DES run under the solver's optimal
+  // adversary play must bank EXACTLY the analytic guaranteed work.
+  const AdaptiveGuidelinePolicy policy;
+  for (Ticks u : {Ticks{500}, Ticks{1000}, Ticks{1777}}) {
+    for (int p : {0, 1, 2, 3}) {
+      const auto br = solver::best_response(policy, u, p, kParams);
+      adversary::TraceAdversary owner(to_trace(br, policy, u, p, kParams));
+      const auto metrics = run_session(policy, owner, Opportunity{u, p}, kParams);
+      EXPECT_EQ(metrics.banked_work, br.value) << "u=" << u << " p=" << p;
+      EXPECT_EQ(metrics.lifespan_used, u);
+    }
+  }
+}
+
+TEST(Session, MinimaxTraceReproducesAnalyticForBaselines) {
+  const FixedChunkPolicy chunks(3.0);
+  const GeometricPolicy geo(2.0, 2.0);
+  for (const SchedulingPolicy* policy :
+       {static_cast<const SchedulingPolicy*>(&chunks),
+        static_cast<const SchedulingPolicy*>(&geo)}) {
+    const Ticks u = 1200;
+    const int p = 2;
+    const auto br = solver::best_response(*policy, u, p, kParams);
+    adversary::TraceAdversary owner(to_trace(br, *policy, u, p, kParams));
+    const auto metrics = run_session(*policy, owner, Opportunity{u, p}, kParams);
+    EXPECT_EQ(metrics.banked_work, br.value) << policy->name();
+  }
+}
+
+TEST(Session, HeuristicOwnersNeverPushBelowGuaranteed) {
+  // The guaranteed value is a floor across ALL owner behaviours.
+  const AdaptiveGuidelinePolicy policy;
+  const Ticks u = 1500;
+  const int p = 2;
+  const Ticks floor_value = solver::evaluate_policy(policy, u, p, kParams);
+  adversary::FirstPeriodAdversary first;
+  adversary::LargestPeriodAdversary largest;
+  adversary::ObservationAdversary observed;
+  adversary::NoOpAdversary noop;
+  for (adversary::Adversary* owner :
+       {static_cast<adversary::Adversary*>(&first),
+        static_cast<adversary::Adversary*>(&largest),
+        static_cast<adversary::Adversary*>(&observed),
+        static_cast<adversary::Adversary*>(&noop)}) {
+    const auto metrics = run_session(policy, *owner, Opportunity{u, p}, kParams);
+    EXPECT_GE(metrics.banked_work, floor_value) << owner->name();
+  }
+}
+
+TEST(Session, StochasticOwnersRespectInterruptBudget) {
+  AdaptiveGuidelinePolicy policy;
+  adversary::PoissonAdversary owner(100.0, 31);
+  for (int p : {0, 1, 2, 5}) {
+    owner.reset(static_cast<std::uint64_t>(p) * 7 + 1);
+    const auto metrics = run_session(policy, owner, Opportunity{3000, p}, kParams);
+    EXPECT_LE(metrics.interrupts, p);
+    EXPECT_EQ(metrics.lifespan_used, 3000);
+  }
+}
+
+TEST(Session, TaskBagDrainsAndAccountsFragmentation) {
+  adversary::NoOpAdversary owner;
+  AdaptiveGuidelinePolicy policy;
+  auto bag = TaskBag::uniform(40, 7);
+  const auto metrics = run_session(policy, owner, Opportunity{1000, 2}, kParams, &bag);
+  // Every completed task's work is counted once; fragmentation is what the
+  // periods could have held but tasks didn't fill.
+  EXPECT_EQ(metrics.task_work, bag.completed_work());
+  EXPECT_EQ(metrics.tasks_completed, bag.completed());
+  EXPECT_EQ(metrics.task_work + metrics.fragmentation, metrics.banked_work);
+}
+
+TEST(Session, KilledBatchesReturnToBag) {
+  adversary::FirstPeriodAdversary owner;
+  AdaptiveGuidelinePolicy policy;
+  auto bag = TaskBag::uniform(1000, 3);  // plenty of tasks
+  const auto metrics = run_session(policy, owner, Opportunity{800, 2}, kParams, &bag);
+  // Conservation: completed + pending == total tasks.
+  EXPECT_EQ(bag.completed() + bag.pending(), 1000u);
+  EXPECT_EQ(metrics.tasks_completed, bag.completed());
+  EXPECT_GT(metrics.lost_work, 0);
+}
+
+TEST(Session, PolicyNotSpanningResidualIsAnError) {
+  // A policy returning a schedule shorter than the residual violates §2.2.
+  class BrokenPolicy final : public SchedulingPolicy {
+   public:
+    std::string name() const override { return "broken"; }
+    EpisodeSchedule episode(Ticks residual, int, const Params&) const override {
+      return EpisodeSchedule({std::max<Ticks>(1, residual / 2)});
+    }
+  };
+  BrokenPolicy policy;
+  adversary::NoOpAdversary owner;
+  EXPECT_THROW(run_session(policy, owner, Opportunity{100, 1}, kParams),
+               std::logic_error);
+}
+
+TEST(SessionMetrics, MergeAddsFields) {
+  SessionMetrics a, b;
+  a.banked_work = 10;
+  a.interrupts = 1;
+  a.episodes = 2;
+  b.banked_work = 5;
+  b.interrupts = 2;
+  b.episodes = 1;
+  a.merge(b);
+  EXPECT_EQ(a.banked_work, 15);
+  EXPECT_EQ(a.interrupts, 3);
+  EXPECT_EQ(a.episodes, 3u);
+}
+
+TEST(SessionMetrics, ToStringMentionsKeyFields) {
+  SessionMetrics m;
+  m.banked_work = 42;
+  const auto str = m.to_string();
+  EXPECT_NE(str.find("banked=42"), std::string::npos);
+  EXPECT_NE(str.find("interrupts="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nowsched::sim

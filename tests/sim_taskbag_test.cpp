@@ -1,0 +1,89 @@
+#include "sim/taskbag.h"
+
+#include <gtest/gtest.h>
+
+namespace nowsched::sim {
+namespace {
+
+TEST(TaskBag, UniformConstruction) {
+  auto bag = TaskBag::uniform(10, 5);
+  EXPECT_EQ(bag.pending(), 10u);
+  EXPECT_EQ(bag.pending_work(), 50);
+  EXPECT_EQ(bag.completed(), 0u);
+  EXPECT_FALSE(bag.done());
+}
+
+TEST(TaskBag, RejectsZeroDurationTasks) {
+  EXPECT_THROW(TaskBag({Task{0, 0}}), std::invalid_argument);
+}
+
+TEST(TaskBag, GreedyFifoPacking) {
+  TaskBag bag({{0, 30}, {1, 30}, {2, 30}});
+  const auto batch = bag.take_batch(70);
+  ASSERT_EQ(batch.size(), 2u);  // 30+30 fits, third would exceed
+  EXPECT_EQ(TaskBag::batch_work(batch), 60);
+  EXPECT_EQ(bag.pending(), 1u);
+  EXPECT_EQ(bag.pending_work(), 30);
+}
+
+TEST(TaskBag, PackingStopsAtFirstNonFit) {
+  // FIFO semantics: a big head task blocks smaller ones behind it.
+  TaskBag bag({{0, 100}, {1, 1}});
+  const auto batch = bag.take_batch(50);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(bag.pending(), 2u);
+}
+
+TEST(TaskBag, ZeroCapacityTakesNothing) {
+  auto bag = TaskBag::uniform(5, 10);
+  EXPECT_TRUE(bag.take_batch(0).empty());
+}
+
+TEST(TaskBag, ReturnBatchPreservesOrderAtFront) {
+  TaskBag bag({{0, 10}, {1, 10}, {2, 10}});
+  const auto batch = bag.take_batch(20);  // tasks 0, 1
+  bag.return_batch(batch);
+  EXPECT_EQ(bag.pending(), 3u);
+  const auto again = bag.take_batch(10);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].id, 0u);  // original head restored
+}
+
+TEST(TaskBag, CompletionAccounting) {
+  auto bag = TaskBag::uniform(4, 25);
+  const auto batch = bag.take_batch(50);
+  bag.mark_completed(batch);
+  EXPECT_EQ(bag.completed(), 2u);
+  EXPECT_EQ(bag.completed_work(), 50);
+  EXPECT_EQ(bag.pending(), 2u);
+  bag.mark_completed(bag.take_batch(100));
+  EXPECT_TRUE(bag.done());
+  EXPECT_EQ(bag.completed_work(), 100);
+}
+
+TEST(TaskBag, RandomDurationsWithinRange) {
+  util::Rng rng(11);
+  auto bag = TaskBag::random(100, 5, 15, rng);
+  EXPECT_EQ(bag.pending(), 100u);
+  Ticks total = 0;
+  while (!bag.done()) {
+    const auto batch = bag.take_batch(15);
+    ASSERT_FALSE(batch.empty());
+    for (const auto& t : batch) {
+      EXPECT_GE(t.duration, 5);
+      EXPECT_LE(t.duration, 15);
+    }
+    total += TaskBag::batch_work(batch);
+    bag.mark_completed(batch);
+  }
+  EXPECT_EQ(total, bag.completed_work());
+}
+
+TEST(TaskBag, RandomRejectsBadRange) {
+  util::Rng rng(1);
+  EXPECT_THROW(TaskBag::random(5, 0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(TaskBag::random(5, 10, 9, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nowsched::sim

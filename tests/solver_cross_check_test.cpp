@@ -1,0 +1,93 @@
+// The fast crossover solver must agree bit-for-bit with the O(N²) oracle,
+// serial or parallel.
+#include <gtest/gtest.h>
+
+#include "solver/fast_solver.h"
+#include "solver/reference_solver.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::solver {
+namespace {
+
+struct GridCase {
+  int max_p;
+  Ticks max_l;
+  Ticks c;
+};
+
+class CrossCheck : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CrossCheck, FastMatchesReferenceExactly) {
+  const auto [max_p, max_l, c] = GetParam();
+  const auto ref = solve_reference(max_p, max_l, Params{c});
+  const auto fast = solve_fast(max_p, max_l, Params{c});
+  for (int p = 0; p <= max_p; ++p) {
+    for (Ticks l = 0; l <= max_l; ++l) {
+      ASSERT_EQ(fast.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CrossCheck,
+                         ::testing::Values(GridCase{1, 400, 8}, GridCase{2, 400, 16},
+                                           GridCase{3, 300, 4}, GridCase{4, 250, 2},
+                                           GridCase{2, 600, 1}, GridCase{1, 1000, 64},
+                                           GridCase{5, 200, 8}, GridCase{0, 100, 8},
+                                           GridCase{3, 512, 100}));
+
+TEST(CrossCheckParallel, BlockParallelMatchesSerial) {
+  // The parallel path engages when c >= 256; compare against the serial fast
+  // solver (itself validated against the oracle above).
+  util::ThreadPool pool(4);
+  const Params params{300};
+  const Ticks max_l = 300 * 24;
+  const auto serial = solve_fast(3, max_l, params, nullptr);
+  const auto parallel = solve_fast(3, max_l, params, &pool);
+  for (int p = 0; p <= 3; ++p) {
+    for (Ticks l = 0; l <= max_l; ++l) {
+      ASSERT_EQ(parallel.value(p, l), serial.value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+TEST(CrossCheckParallel, SmallCFallsBackToSerialPathCorrectly) {
+  util::ThreadPool pool(4);
+  const Params params{8};
+  const auto with_pool = solve_fast(2, 500, params, &pool);
+  const auto ref = solve_reference(2, 500, params);
+  for (Ticks l = 0; l <= 500; ++l) {
+    ASSERT_EQ(with_pool.value(2, l), ref.value(2, l));
+  }
+}
+
+TEST(FastSolver, LargeGridSelfConsistency) {
+  // On a grid too big for the oracle, check internal invariants instead:
+  // monotone, 1-Lipschitz, level ordering, and spot equalities at
+  // lifespans where the recurrence can be verified against level p−1.
+  const Params params{16};
+  const Ticks max_l = 1 << 16;
+  const auto table = solve_fast(3, max_l, params);
+  for (int p = 1; p <= 3; ++p) {
+    for (Ticks l = 1; l <= max_l; ++l) {
+      const Ticks v = table.value(p, l);
+      ASSERT_GE(v, table.value(p, l - 1));
+      ASSERT_LE(v - table.value(p, l - 1), 1);
+      ASSERT_LE(v, table.value(p - 1, l));
+    }
+  }
+  // Spot check the recurrence at a few lifespans via a full scan.
+  for (Ticks l : {Ticks{1000}, Ticks{4096}, Ticks{30000}, max_l}) {
+    for (int p : {1, 2, 3}) {
+      Ticks best = 0;
+      for (Ticks t = 1; t <= l; ++t) {
+        const Ticks a = positive_sub(t, params.c) + table.value(p, l - t);
+        const Ticks b = table.value(p - 1, l - t);
+        best = std::max(best, std::min(a, b));
+      }
+      EXPECT_EQ(table.value(p, l), best) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nowsched::solver

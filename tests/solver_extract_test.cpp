@@ -1,0 +1,110 @@
+#include "solver/extract.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/closed_form.h"
+#include "solver/reference_solver.h"
+
+namespace nowsched::solver {
+namespace {
+
+class ExtractFixture : public ::testing::Test {
+ protected:
+  static constexpr Ticks kC = 8;
+  static constexpr Ticks kMaxL = 600;
+  static constexpr int kMaxP = 3;
+  ExtractFixture()
+      : table_(std::make_shared<ValueTable>(solve_reference(kMaxP, kMaxL, Params{kC}))) {}
+  std::shared_ptr<ValueTable> table_;
+};
+
+TEST_F(ExtractFixture, EpisodeSpansLifespan) {
+  for (Ticks l : {Ticks{1}, Ticks{50}, Ticks{333}, kMaxL}) {
+    for (int p = 0; p <= kMaxP; ++p) {
+      EXPECT_EQ(extract_episode(*table_, p, l).total(), l);
+    }
+  }
+}
+
+TEST_F(ExtractFixture, ZeroLifespanIsEmpty) {
+  EXPECT_TRUE(extract_episode(*table_, 2, 0).empty());
+}
+
+TEST_F(ExtractFixture, PZeroIsSinglePeriod) {
+  const auto s = extract_episode(*table_, 0, 500);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.period(0), 500);
+}
+
+TEST_F(ExtractFixture, ExtractedEpisodeAchievesTableValueP1) {
+  // For p = 1 the episode's guaranteed work can be evaluated in closed form
+  // (optimal continuation = single long period): it must equal W(1)[L].
+  const Params params{kC};
+  for (Ticks l = 1; l <= kMaxL; l += 7) {
+    const auto episode = extract_episode(*table_, 1, l);
+    EXPECT_EQ(guaranteed_work_p1(episode, l, params), table_->value(1, l)) << "l=" << l;
+  }
+}
+
+TEST_F(ExtractFixture, ExtractedEpisodeAchievesTableValueGeneralP) {
+  // General p: evaluate min over adversary options using level p−1 values.
+  const Params params{kC};
+  for (int p = 1; p <= kMaxP; ++p) {
+    for (Ticks l = 1; l <= kMaxL; l += 11) {
+      const auto episode = extract_episode(*table_, p, l);
+      Ticks value = episode.work_if_uninterrupted(params);
+      Ticks banked = 0;
+      for (std::size_t k = 0; k < episode.size(); ++k) {
+        const Ticks rest = positive_sub(l, episode.end(k));
+        value = std::min(value, banked + table_->value(p - 1, rest));
+        banked += positive_sub(episode.period(k), params.c);
+      }
+      EXPECT_EQ(value, table_->value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+TEST_F(ExtractFixture, EqualizationResidualsSmallOnEarlyPeriods) {
+  // Thm 4.3: early periods satisfy t_k = c + ΔW(p−1) exactly (up to grid
+  // effects). The last few ("immune tail") periods are exempt.
+  const Ticks l = 555;
+  for (int p = 1; p <= 2; ++p) {
+    const auto episode = extract_episode(*table_, p, l);
+    const auto residuals = equalization_residuals(*table_, episode, p, l);
+    ASSERT_EQ(residuals.size(), episode.size());
+    // Count how many early periods deviate by more than 2 ticks.
+    std::size_t late_zone = std::min<std::size_t>(episode.size(), 3);
+    for (std::size_t k = 0; k + late_zone < episode.size(); ++k) {
+      EXPECT_LE(std::llabs(residuals[k]), 2)
+          << "p=" << p << " period " << k << " of " << episode.size();
+    }
+  }
+}
+
+TEST_F(ExtractFixture, OptimalPolicyWrapsTable) {
+  OptimalPolicy policy(table_);
+  EXPECT_EQ(policy.name(), "dp-optimal");
+  const auto s = policy.episode(400, 2, Params{kC});
+  EXPECT_EQ(s.total(), 400);
+  // Clamps p above table range.
+  EXPECT_EQ(policy.episode(400, 99, Params{kC}).total(), 400);
+  // Rejects mismatched params.
+  EXPECT_THROW(policy.episode(400, 1, Params{kC + 1}), std::invalid_argument);
+}
+
+TEST_F(ExtractFixture, BoundsChecked) {
+  EXPECT_THROW(extract_episode(*table_, 0, kMaxL + 1), std::out_of_range);
+  EXPECT_THROW(extract_episode(*table_, kMaxP + 1, 10), std::out_of_range);
+  EXPECT_THROW(extract_episode(*table_, -1, 10), std::out_of_range);
+  EXPECT_THROW(equalization_residuals(*table_, EpisodeSchedule({10}), 0, 10),
+               std::invalid_argument);
+}
+
+TEST(OptimalPolicyStandalone, NullTableRejected) {
+  EXPECT_THROW(OptimalPolicy(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nowsched::solver

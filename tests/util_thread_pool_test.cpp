@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nowsched::util {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(5, 6, [&](std::size_t i) {
+    EXPECT_EQ(i, 5u);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ChunkVariantSumsCorrectly) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  std::atomic<long long> total{0};
+  pool.parallel_for_chunks(1, n + 1, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long long>(i);
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n + 1) / 2);
+}
+
+TEST(ThreadPool, ChunksAreDisjointAndOrderedWithin) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4096);
+  pool.parallel_for_chunks(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t i) {
+                          if (i == 357) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolSurvivesExceptionAndRunsAgain) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 500, [&](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 500, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsSerially) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(0, 100, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, ManySmallDispatchesComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 64, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 50 * 64);
+}
+
+}  // namespace
+}  // namespace nowsched::util
