@@ -59,7 +59,11 @@ void BM_FarmScaling(benchmark::State& state) {
     std::vector<sim::WorkstationConfig> cfgs;
     for (std::size_t i = 0; i < stations; ++i) {
       sim::WorkstationConfig cfg;
-      cfg.name = "b" + std::to_string(i);
+      // Assemble via append rather than operator+: string concatenation of a
+      // literal with std::to_string trips a GCC 12 -Wrestrict false positive
+      // (GCC bug 105651) when inlined under -O2.
+      cfg.name = "b";
+      cfg.name += std::to_string(i);
       cfg.opportunity = Opportunity{16 * 1024, 2};
       cfg.params = Params{16};
       cfg.policy = policy;

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
       "    with the printed Thm 5.1 constant (2 − 2^{1−p}) only at p <= 1;\n"
       "    for p >= 2 the printed constant is unachievable (EXPERIMENTS.md E4);\n"
       "  * the printed §3.2 schedule constants track the optimum for p <= 2\n"
-      "    but drift for p >= 3 (OCR-garbled pivot/count; DESIGN.md);\n"
+      "    but drift for p >= 3 (OCR-garbled pivot/count; DESIGN.md §1);\n"
       "  * p = 0 reproduces Prop 4.1(d): W = U − c for every variant.\n";
   std::cout << "CSV written to " << csv.path() << "\n";
   return 0;

@@ -16,7 +16,7 @@
 // immune band (periods of 3c/2).
 //
 // Unlike the §3.2 printed constants (garbled in the surviving text for
-// p >= 2 — see DESIGN.md), this construction needs no magic numbers and
+// p >= 2 — see DESIGN.md §1), this construction needs no magic numbers and
 // tracks the DP optimum within low-order terms for every p (verified in
 // tests/integration_test.cpp and bench_adaptive_vs_optimal).
 #pragma once

@@ -5,7 +5,7 @@
 //   Networks of Workstations, II: On Maximizing Guaranteed Output",
 //   IPPS/SPDP 1999.
 //
-// Layers (see DESIGN.md):
+// Layers (see DESIGN.md §2):
 //   nowsched           — model types, schedules, published guidelines
 //   nowsched::solver   — exact minimax solvers for W(p)[L], policy evaluation
 //   nowsched::adversary— owner/interrupt models

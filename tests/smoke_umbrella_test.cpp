@@ -1,0 +1,24 @@
+// Umbrella-header hygiene: this TU includes ONLY nowsched.h (plus gtest) and
+// must compile under -Wall -Wextra. Every public header has to be
+// self-contained and transitively included by the umbrella for this to pass.
+#include "nowsched.h"
+
+#include <gtest/gtest.h>
+
+namespace nowsched {
+namespace {
+
+// Touch one symbol per layer so the linker pulls each archive member and any
+// missing definition (unlinked TU, ODR mishap) surfaces here rather than in a
+// downstream consumer.
+TEST(UmbrellaHeader, ExposesEveryLayer) {
+  const Params params{16};
+  require_valid(params);
+  EXPECT_EQ(positive_sub(5, 2), 3);     // core
+  util::Rng rng(1234);                  // util
+  (void)rng;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nowsched
