@@ -7,10 +7,10 @@
 //   /U      — relative work loss.
 // Also fits gap ~ a + b·√U to expose the growth order empirically.
 #include <cmath>
-#include <iostream>
 #include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/equalized.h"
 #include "core/guidelines.h"
 #include "solver/fast_solver.h"
@@ -18,23 +18,24 @@
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
-  const int max_p = static_cast<int>(flags.get_int("max_p", 4));
+  const int max_p = static_cast<int>(flags.get_int("max_p", ctx.quick() ? 2 : 4));
   util::ThreadPool& pool = util::global_pool();
 
-  bench::print_header("E5 / §5.2", "guideline deviation from the DP optimum");
-  util::CsvWriter csv(bench::csv_path(flags, "adaptive_vs_optimal.csv"),
-                      {"U_over_c", "p", "gap_printed", "gap_equalized",
-                       "gap_printed_norm_sqrt", "gap_equalized_norm_sqrt"});
+  ctx.csv({"U_over_c", "p", "gap_printed", "gap_equalized", "gap_printed_norm_sqrt",
+           "gap_equalized_norm_sqrt"});
 
   util::Table out({"U/c", "p", "gap printed", "gap equalzd", "prt/√(cU)", "eq/√(cU)",
                    "eq/U %"});
 
-  std::vector<Ticks> ratios = {128, 256, 512, 1024, 2048, 4096};
+  const std::vector<Ticks> ratios =
+      ctx.quick() ? std::vector<Ticks>{64, 128, 256}
+                  : std::vector<Ticks>{128, 256, 512, 1024, 2048, 4096};
   std::vector<double> sqrt_u, eq_gaps;
   for (const Ticks ratio : ratios) {
     const Ticks u = ratio * params.c;
@@ -55,10 +56,10 @@ int main(int argc, char** argv) {
                    util::Table::fmt(static_cast<double>(gap_pr) / scale, 3),
                    util::Table::fmt(static_cast<double>(gap_eq) / scale, 3),
                    util::Table::fmt(100.0 * static_cast<double>(gap_eq) / ud, 3)});
-      csv.write_row({static_cast<double>(ratio), static_cast<double>(p),
-                     static_cast<double>(gap_pr), static_cast<double>(gap_eq),
-                     static_cast<double>(gap_pr) / scale,
-                     static_cast<double>(gap_eq) / scale});
+      ctx.write_csv_row({static_cast<double>(ratio), static_cast<double>(p),
+                         static_cast<double>(gap_pr), static_cast<double>(gap_eq),
+                         static_cast<double>(gap_pr) / scale,
+                         static_cast<double>(gap_eq) / scale});
       if (p == 2) {
         sqrt_u.push_back(std::sqrt(ud));
         eq_gaps.push_back(static_cast<double>(gap_eq));
@@ -66,14 +67,32 @@ int main(int argc, char** argv) {
     }
     out.add_rule();
   }
-  out.print(std::cout, "\nDeviation from optimality, c = " +
-                           std::to_string(params.c) + " ticks");
+  ctx.table(out, "Deviation from optimality, c = " + std::to_string(params.c) +
+                     " ticks");
 
-  const auto fit = util::fit_linear(sqrt_u, eq_gaps);
-  std::cout << "\nequalized gap (p=2) ≈ " << fit.intercept << " + " << fit.slope
-            << "·√U   (r²=" << fit.r2 << ")\n"
-            << "A near-zero √U slope for the equalized guideline is the\n"
-               "empirical form of '§5.2: optimal up to low-order additive terms'.\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+  if (sqrt_u.size() >= 2) {
+    const auto fit = util::fit_linear(sqrt_u, eq_gaps);
+    ctx.metric("equalized_gap_p2_sqrtU_slope", fit.slope);
+    ctx.text("equalized gap (p=2) ≈ " + util::Table::fmt(fit.intercept, 6) + " + " +
+             util::Table::fmt(fit.slope, 6) + "·√U   (r²=" +
+             util::Table::fmt(fit.r2, 4) +
+             ")\nA near-zero √U slope for the equalized guideline is the\n"
+             "empirical form of '§5.2: optimal up to low-order additive terms'.");
+  }
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_adaptive_vs_optimal() {
+  static const harness::Experiment e{
+      "E5", "adaptive_vs_optimal", "§5.2 guideline deviation from the DP optimum",
+      "bench_adaptive_vs_optimal",
+      "W(p)[U] − W(guideline) for the printed and equalized guidelines across a "
+      "U sweep, normalized by √(cU) and by U, plus a gap ≈ a + b·√U fit whose "
+      "near-zero slope is the empirical form of '§5.2: optimal up to low-order "
+      "additive terms'.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

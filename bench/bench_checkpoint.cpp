@@ -1,4 +1,4 @@
-// Ablation — how much of the draconian model's cost is the checkpointing
+// E9 — ablation: how much of the draconian model's cost is the checkpointing
 // assumption? The paper's contract makes period boundaries the only
 // checkpoints; this bench adds intra-period checkpoints of varying density
 // and cost and measures banked work under the worst-case trace recorded
@@ -8,29 +8,30 @@
 // competitive (the whole short-vs-long-period tension dissolves), while at
 // realistic checkpoint costs the paper's period-granular guidelines remain
 // the right tool.
-#include <iostream>
 #include <memory>
+#include <optional>
+#include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "adversary/stochastic.h"
 #include "core/baselines.h"
 #include "core/equalized.h"
 #include "sim/session.h"
 #include "util/stats.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
-  const Ticks u = flags.get_int("u", 16 * 2048);
+  const Ticks u = flags.get_int("u", ctx.quick() ? 16 * 512 : 16 * 2048);
   const int p = static_cast<int>(flags.get_int("p", 3));
-  const int trials = static_cast<int>(flags.get_int("trials", 200));
+  const int trials =
+      static_cast<int>(flags.get_int("trials", ctx.quick() ? 40 : 200));
 
-  bench::print_header("EXT / checkpoint ablation",
-                      "value of intra-period checkpoints (paper model = none)");
-  util::CsvWriter csv(bench::csv_path(flags, "checkpoint.csv"),
-                      {"policy", "interval", "cost", "mean_banked", "mean_salvaged"});
+  ctx.csv({"policy", "interval", "cost", "mean_banked", "mean_salvaged"});
 
   std::vector<std::pair<std::string, PolicyPtr>> policies;
   policies.emplace_back("single-block", std::make_shared<SingleBlockPolicy>());
@@ -65,23 +66,35 @@ int main(int argc, char** argv) {
       }
       out.add_row({pname, spec.label, util::Table::fmt(banked.mean(), 6),
                    util::Table::fmt(salvaged.mean(), 5)});
-      csv.write_row({pname, spec.label,
-                     util::Table::fmt(static_cast<double>(spec.ckpt ? spec.ckpt->cost
-                                                                    : 0),
-                                      4),
-                     util::Table::fmt(banked.mean(), 9),
-                     util::Table::fmt(salvaged.mean(), 9)});
+      ctx.write_csv_row({pname, spec.label,
+                         util::Table::fmt(
+                             static_cast<double>(spec.ckpt ? spec.ckpt->cost : 0), 4),
+                         util::Table::fmt(banked.mean(), 9),
+                         util::Table::fmt(salvaged.mean(), 9)});
     }
     out.add_rule();
   }
-  out.print(std::cout, "\nPoisson owner, U = " + std::to_string(u) + ", p = " +
-                           std::to_string(p) + ", " + std::to_string(trials) +
-                           " trials");
-  std::cout <<
-      "\nReading: free dense checkpoints rescue the single-block plan (its\n"
+  ctx.table(out, "Poisson owner, U = " + std::to_string(u) + ", p = " +
+                     std::to_string(p) + ", " + std::to_string(trials) + " trials");
+  ctx.text(
+      "Reading: free dense checkpoints rescue the single-block plan (its\n"
       "salvage column approaches the guideline's banked work), vindicating\n"
       "the paper's framing — the guidelines ARE the checkpointing strategy\n"
-      "when mid-period snapshots are impossible or costly.\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+      "when mid-period snapshots are impossible or costly.");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_checkpoint() {
+  static const harness::Experiment e{
+      "E9", "checkpoint", "Checkpoint ablation: value of intra-period checkpoints",
+      "bench_checkpoint",
+      "The paper's model makes period boundaries the only checkpoints. Adding "
+      "intra-period checkpoints of varying density and cost shows free dense "
+      "checkpoints rescuing the single-block plan, while at realistic costs "
+      "the period-granular guidelines remain the right tool.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

@@ -7,31 +7,34 @@
 //   * the OCR reading            U − √(2pcU) + pc   (shown to over-promise),
 //   * the exhaustive best equal-period count vs the guideline's ⌊√(pU/c)⌋.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/bounds.h"
 #include "core/guidelines.h"
 #include "solver/nonadaptive_eval.h"
 #include "solver/nonadaptive_opt.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
   const double c = static_cast<double>(params.c);
-  const int max_p = static_cast<int>(flags.get_int("max_p", 8));
+  const int max_p = static_cast<int>(flags.get_int("max_p", ctx.quick() ? 4 : 8));
 
-  bench::print_header("E3 / §3.1", "non-adaptive guideline vs closed form");
-  util::CsvWriter csv(bench::csv_path(flags, "nonadaptive.csv"),
-                      {"U_over_c", "p", "m_guideline", "m_best", "W_guideline",
-                       "W_best_equal", "formula_corrected", "formula_ocr"});
+  ctx.csv({"U_over_c", "p", "m_guideline", "m_best", "W_guideline", "W_best_equal",
+           "formula_corrected", "formula_ocr"});
 
   util::Table out({"U/c", "p", "m gd", "m best", "W gd", "W best", "W freeform",
                    "U−2√(pcU)+pc", "U−√(2pcU)+pc", "gd/corr"});
 
-  for (Ticks ratio : {Ticks{64}, Ticks{256}, Ticks{1024}, Ticks{4096}, Ticks{16384}}) {
+  const std::vector<Ticks> ratios =
+      ctx.quick() ? std::vector<Ticks>{64, 256}
+                  : std::vector<Ticks>{64, 256, 1024, 4096, 16384};
+  for (Ticks ratio : ratios) {
     const Ticks u = ratio * params.c;
     const double ud = static_cast<double>(u);
     for (int p = 1; p <= max_p; p *= 2) {
@@ -54,21 +57,35 @@ int main(int argc, char** argv) {
                    util::Table::fmt(corrected > 0 ? static_cast<double>(w) / corrected
                                                   : 0.0,
                                     4)});
-      csv.write_row({static_cast<double>(ratio), static_cast<double>(p),
-                     static_cast<double>(sched.size()), static_cast<double>(search.best_m),
-                     static_cast<double>(w), static_cast<double>(search.best_value),
-                     corrected, ocr});
+      ctx.write_csv_row({static_cast<double>(ratio), static_cast<double>(p),
+                         static_cast<double>(sched.size()),
+                         static_cast<double>(search.best_m), static_cast<double>(w),
+                         static_cast<double>(search.best_value), corrected, ocr});
     }
     out.add_rule();
   }
-  out.print(std::cout, "\nNon-adaptive guideline S_na(p)[U], c = " +
-                           std::to_string(params.c) + " ticks");
-  std::cout <<
-      "\nShape checks (EXPERIMENTS.md E3):\n"
+  ctx.table(out, "Non-adaptive guideline S_na(p)[U], c = " +
+                     std::to_string(params.c) + " ticks");
+  ctx.text(
+      "Shape checks (E3):\n"
       "  * measured W matches U − 2√(pcU) + pc (ratio column → 1), NOT the OCR\n"
       "    reading U − √(2pcU) + pc, which exceeds every measured value;\n"
       "  * the guideline m = ⌊√(pU/c)⌋ matches the exhaustive best m (wide\n"
-      "    plateau: small deviations cost < c of work).\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+      "    plateau: small deviations cost < c of work).");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_nonadaptive() {
+  static const harness::Experiment e{
+      "E3", "nonadaptive", "§3.1 non-adaptive guideline vs closed form",
+      "bench_nonadaptive",
+      "The committed equal-period guideline S_na(p)[U] evaluated exactly "
+      "(best-response DP) against the corrected closed form U − 2√(pcU) + pc, "
+      "the OCR misreading U − √(2pcU) + pc, the exhaustive best equal-period "
+      "count, and a free-form local search over all committed schedules.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

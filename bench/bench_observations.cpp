@@ -1,21 +1,25 @@
 // E7 — §4.1 Observations (a), (b), (c), verified exhaustively on small grids
 // and illustrated against the optimal policy.
-#include <iostream>
+#include <algorithm>
+#include <memory>
+#include <string>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "solver/extract.h"
 #include "solver/policy_eval.h"
 #include "solver/reference_solver.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 8)};
-  const Ticks max_l = flags.get_int("max_l", 320);
+  const Ticks max_l = flags.get_int("max_l", ctx.quick() ? 160 : 320);
   const int max_p = static_cast<int>(flags.get_int("max_p", 2));
 
-  bench::print_header("E7 / §4.1", "Observations (a)-(c)");
+  ctx.csv({"observation", "checked", "violations"});
   const auto table = solver::solve_reference(max_p, max_l, params);
 
   // (a) last-instant interrupts: allowing mid-period interrupts changes no
@@ -37,9 +41,11 @@ int main(int argc, char** argv) {
       changed += (best != table.value(p, l));
     }
   }
-  std::cout << "(a) last-instant dominance: " << states
-            << " states checked with interior-tick interrupts allowed; "
-            << changed << " game values changed (expected 0)\n";
+  ctx.text("(a) last-instant dominance: " + std::to_string(states) +
+           " states checked with interior-tick interrupts allowed; " +
+           std::to_string(changed) + " game values changed (expected 0)");
+  ctx.write_csv_row({std::string("last_instant_dominance"),
+                     std::to_string(states), std::to_string(changed)});
 
   // (b) the adversary interrupts every episode while p > 0 and U > c.
   auto shared = std::make_shared<solver::ValueTable>(table);
@@ -52,9 +58,12 @@ int main(int argc, char** argv) {
     ++opportunities;
     full_use += (used == max_p);
   }
-  std::cout << "(b) always-interrupt: " << full_use << "/" << opportunities
-            << " opportunities used all p=" << max_p
-            << " interrupts (expected all, for U above the threshold)\n";
+  ctx.text("(b) always-interrupt: " + std::to_string(full_use) + "/" +
+           std::to_string(opportunities) + " opportunities used all p=" +
+           std::to_string(max_p) +
+           " interrupts (expected all, for U above the threshold)");
+  ctx.write_csv_row({std::string("always_interrupt"), std::to_string(opportunities),
+                     std::to_string(opportunities - full_use)});
 
   // (c) interrupted periods begin before residual − p·c.
   std::size_t interrupts = 0, inside_window = 0;
@@ -74,8 +83,12 @@ int main(int argc, char** argv) {
       --q;
     }
   }
-  std::cout << "(c) early-window interrupts: " << inside_window << "/" << interrupts
-            << " optimal-play interrupts began before residual − p·c (expected all)\n";
+  ctx.text("(c) early-window interrupts: " + std::to_string(inside_window) + "/" +
+           std::to_string(interrupts) +
+           " optimal-play interrupts began before residual − p·c (expected all)");
+  ctx.write_csv_row({std::string("early_window_interrupts"),
+                     std::to_string(interrupts),
+                     std::to_string(interrupts - inside_window)});
 
   // Illustrative table: one optimal episode with the adversary's options.
   const Ticks demo_l = std::min<Ticks>(max_l, 40 * params.c);
@@ -89,8 +102,22 @@ int main(int argc, char** argv) {
                  util::Table::fmt(static_cast<long long>(episode.start(k))),
                  util::Table::fmt(static_cast<long long>(option))});
   }
-  out.print(std::cout, "\noptimal 1-interrupt episode at U = " +
-                           std::to_string(demo_l) +
-                           " — note the equalized kill-option column (Thm 4.3)");
-  return 0;
+  ctx.table(out, "optimal 1-interrupt episode at U = " + std::to_string(demo_l) +
+                     " — note the equalized kill-option column (Thm 4.3)");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_observations() {
+  static const harness::Experiment e{
+      "E7", "observations", "§4.1 Observations (a)–(c) verified exhaustively",
+      "bench_observations",
+      "Exhaustive small-grid verification of the three §4.1 observations — "
+      "last-instant interrupt dominance, the adversary always spending its "
+      "interrupts, and interrupts landing in the early window — plus one "
+      "optimal episode with its equalized kill-option column (Thm 4.3).",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

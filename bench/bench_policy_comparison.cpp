@@ -5,11 +5,11 @@
 // guidelines, the DP optimum, and the naive baselines the introduction and
 // related work (§1.3) argue against — plus an ablation of the Thm 4.1/4.2
 // transforms applied to a deliberately bad committed schedule.
-#include <iostream>
 #include <memory>
 #include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/baselines.h"
 #include "core/equalized.h"
 #include "core/guidelines.h"
@@ -20,17 +20,16 @@
 #include "solver/policy_eval.h"
 #include "util/thread_pool.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
   const int max_p = static_cast<int>(flags.get_int("max_p", 3));
   util::ThreadPool& pool = util::global_pool();
 
-  bench::print_header("E6 / §1.1", "policy comparison under the malicious adversary");
-  util::CsvWriter csv(bench::csv_path(flags, "policy_comparison.csv"),
-                      {"U_over_c", "p", "policy", "guaranteed_work"});
+  ctx.csv({"U_over_c", "p", "policy", "guaranteed_work"});
 
   std::vector<std::pair<std::string, PolicyPtr>> policies;
   policies.emplace_back("single-block", std::make_shared<SingleBlockPolicy>());
@@ -44,7 +43,10 @@ int main(int argc, char** argv) {
                         std::make_shared<AdaptiveGuidelinePolicy>(PivotRule::kAsPrinted));
   policies.emplace_back("equalized", std::make_shared<EqualizedGuidelinePolicy>());
 
-  for (Ticks ratio : {Ticks{256}, Ticks{1024}, Ticks{4096}}) {
+  const std::vector<Ticks> ratios = ctx.quick()
+                                        ? std::vector<Ticks>{256}
+                                        : std::vector<Ticks>{256, 1024, 4096};
+  for (Ticks ratio : ratios) {
     const Ticks u = ratio * params.c;
     const auto table = solver::solve_fast(max_p, u, params, &pool);
 
@@ -58,9 +60,9 @@ int main(int argc, char** argv) {
         const Ticks w = solver::evaluate_policy(*policy, u, p, params, &pool);
         if (p == 3) w3 = w;
         row.push_back(util::Table::fmt(static_cast<long long>(w)));
-        csv.write_row({util::Table::fmt(static_cast<long long>(ratio)),
-                       util::Table::fmt(static_cast<long long>(p)), name,
-                       util::Table::fmt(static_cast<long long>(w))});
+        ctx.write_csv_row({util::Table::fmt(static_cast<long long>(ratio)),
+                           util::Table::fmt(static_cast<long long>(p)), name,
+                           util::Table::fmt(static_cast<long long>(w))});
       }
       const Ticks opt3 = table.value(std::min(3, max_p), u);
       row.push_back(util::Table::fmt(
@@ -77,10 +79,10 @@ int main(int argc, char** argv) {
         const Ticks w = solver::nonadaptive_guaranteed_work(sched, u, p, params);
         if (p == 3) w3 = w;
         row.push_back(util::Table::fmt(static_cast<long long>(w)));
-        csv.write_row({util::Table::fmt(static_cast<long long>(ratio)),
-                       util::Table::fmt(static_cast<long long>(p)),
-                       "nonadaptive-committed",
-                       util::Table::fmt(static_cast<long long>(w))});
+        ctx.write_csv_row({util::Table::fmt(static_cast<long long>(ratio)),
+                           util::Table::fmt(static_cast<long long>(p)),
+                           "nonadaptive-committed",
+                           util::Table::fmt(static_cast<long long>(w))});
       }
       const Ticks opt3 = table.value(std::min(3, max_p), u);
       row.push_back(util::Table::fmt(
@@ -93,22 +95,20 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {"dp-optimal"};
       for (int p = 1; p <= max_p; ++p) {
         row.push_back(util::Table::fmt(static_cast<long long>(table.value(p, u))));
-        csv.write_row({util::Table::fmt(static_cast<long long>(ratio)),
-                       util::Table::fmt(static_cast<long long>(p)), "dp-optimal",
-                       util::Table::fmt(static_cast<long long>(table.value(p, u)))});
+        ctx.write_csv_row({util::Table::fmt(static_cast<long long>(ratio)),
+                           util::Table::fmt(static_cast<long long>(p)), "dp-optimal",
+                           util::Table::fmt(static_cast<long long>(table.value(p, u)))});
       }
       row.push_back("100");
       out.add_row(std::move(row));
     }
-    out.print(std::cout, "\nU/c = " + std::to_string(ratio) +
-                             " (guaranteed work; c = " + std::to_string(params.c) +
-                             " ticks)");
+    ctx.table(out, "U/c = " + std::to_string(ratio) + " (guaranteed work; c = " +
+                       std::to_string(params.c) + " ticks)");
   }
 
   // Ablation: Thm 4.1/4.2 transforms rescue a pathological committed schedule.
-  std::cout << "\nAblation — transforms on a pathological committed schedule "
-               "(U/c = 1024, p = 2):\n";
-  const Ticks u = 1024 * params.c;
+  const Ticks ablation_ratio = ctx.quick() ? 256 : 1024;
+  const Ticks u = ablation_ratio * params.c;
   std::vector<Ticks> bad;
   for (int i = 0; i < 64; ++i) bad.push_back(params.c / 2 + (i % 3));  // unproductive
   Ticks used = 0;
@@ -128,7 +128,22 @@ int main(int argc, char** argv) {
                 util::Table::fmt(static_cast<long long>(
                     solver::nonadaptive_guaranteed_work(*sched, u, 2, params)))});
   }
-  ab.print(std::cout);
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+  ctx.table(ab, "Ablation — Thm 4.1/4.2 transforms on a pathological committed "
+                "schedule (U/c = " +
+                    std::to_string(ablation_ratio) + ", p = 2)");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_policy_comparison() {
+  static const harness::Experiment e{
+      "E6", "policy_comparison", "§1.1 policy comparison under the malicious adversary",
+      "bench_policy_comparison",
+      "Guaranteed work of the whole policy zoo — naive baselines, the paper's "
+      "guidelines, and the DP optimum — plus an ablation showing the Thm "
+      "4.1/4.2 transforms rescuing a pathological committed schedule.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

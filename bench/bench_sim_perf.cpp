@@ -1,95 +1,125 @@
-// P2 — simulator throughput: event engine, single sessions, and farms.
-#include <benchmark/benchmark.h>
-
+// E11 — simulator throughput: event engine, single sessions, and task-bag
+// packing. Self-timed on the harness clock; the farm-scale sweep lives in
+// E12 (bench_farm_scaling).
 #include <memory>
+#include <vector>
 
-#include "adversary/heuristics.h"
+#include "harness/harness.h"
+
 #include "adversary/stochastic.h"
 #include "core/equalized.h"
 #include "core/guidelines.h"
-#include "sim/farm.h"
 #include "sim/session.h"
+#include "sim/taskbag.h"
 
-using namespace nowsched;
-
+namespace nowsched::bench {
 namespace {
 
-void BM_EventQueueChurn(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    for (std::size_t i = 0; i < n; ++i) {
-      sim.schedule_at(static_cast<Ticks>((i * 2654435761u) % (4 * n)),
-                      [](sim::Simulator&) {});
+void run(harness::Context& ctx) {
+  const int reps = ctx.quick() ? 1 : 3;
+
+  // 1. Raw event-queue churn: schedule n callbacks in scrambled time order,
+  //    drain the queue.
+  {
+    util::Table out({"events", "ms", "events/s"});
+    const std::vector<std::size_t> sizes =
+        ctx.quick() ? std::vector<std::size_t>{1u << 10, 1u << 12}
+                    : std::vector<std::size_t>{1u << 10, 1u << 13, 1u << 16};
+    for (std::size_t n : sizes) {
+      const double ms = harness::time_best_of_ms(reps, [&] {
+        sim::Simulator sim;
+        for (std::size_t i = 0; i < n; ++i) {
+          sim.schedule_at(static_cast<Ticks>((i * 2654435761u) % (4 * n)),
+                          [](sim::Simulator&) {});
+        }
+        sim.run();
+      });
+      harness::write_perf_row(ctx, "event_churn", static_cast<double>(n), ms, static_cast<double>(n));
+      out.add_row({util::Table::fmt(static_cast<unsigned long long>(n)),
+                   util::Table::fmt(ms, 5),
+                   util::Table::fmt(ms > 0 ? static_cast<double>(n) / (ms / 1000.0)
+                                           : 0.0,
+                                    5)});
+      if (n == sizes.back()) {
+        ctx.metric("event_churn_events_per_sec",
+                   ms > 0 ? static_cast<double>(n) / (ms / 1000.0) : 0.0);
+      }
     }
-    benchmark::DoNotOptimize(sim.run());
+    ctx.table(out, "event-queue churn (schedule + drain)");
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_EventQueueChurn)->Range(1 << 10, 1 << 16);
 
-void BM_SessionModelOnly(benchmark::State& state) {
-  const AdaptiveGuidelinePolicy policy;
-  adversary::PoissonAdversary owner(500.0, 42);
-  const Opportunity opp{16 * 4096, 4};
-  for (auto _ : state) {
-    owner.reset(42);
-    benchmark::DoNotOptimize(sim::run_session(policy, owner, opp, Params{16}));
-  }
-}
-BENCHMARK(BM_SessionModelOnly);
+  // 2. Full sessions: model-only and with a task bag attached.
+  {
+    const int sessions = ctx.quick() ? 100 : 1000;
+    const Opportunity opp{16 * 4096, 4};
+    const AdaptiveGuidelinePolicy adaptive;
+    const EqualizedGuidelinePolicy equalized;
 
-void BM_SessionWithTaskBag(benchmark::State& state) {
-  const EqualizedGuidelinePolicy policy;
-  adversary::PoissonAdversary owner(500.0, 42);
-  const Opportunity opp{16 * 4096, 4};
-  for (auto _ : state) {
-    owner.reset(42);
-    auto bag = sim::TaskBag::uniform(4096, 13);
-    benchmark::DoNotOptimize(sim::run_session(policy, owner, opp, Params{16}, &bag));
-  }
-}
-BENCHMARK(BM_SessionWithTaskBag);
+    const double model_ms = harness::time_best_of_ms(reps, [&] {
+      adversary::PoissonAdversary owner(500.0, 42);
+      for (int i = 0; i < sessions; ++i) {
+        owner.reset(42);
+        sim::run_session(adaptive, owner, opp, Params{16});
+      }
+    });
+    const double bag_ms = harness::time_best_of_ms(reps, [&] {
+      adversary::PoissonAdversary owner(500.0, 42);
+      for (int i = 0; i < sessions; ++i) {
+        owner.reset(42);
+        auto bag = sim::TaskBag::uniform(4096, 13);
+        sim::run_session(equalized, owner, opp, Params{16}, &bag);
+      }
+    });
+    harness::write_perf_row(ctx, "session_model_only", static_cast<double>(sessions), model_ms,
+           static_cast<double>(sessions));
+    harness::write_perf_row(ctx, "session_with_taskbag", static_cast<double>(sessions), bag_ms,
+           static_cast<double>(sessions));
+    ctx.metric("sessions_per_sec_model_only",
+               model_ms > 0 ? sessions / (model_ms / 1000.0) : 0.0);
 
-void BM_FarmScaling(benchmark::State& state) {
-  const auto stations = static_cast<std::size_t>(state.range(0));
-  auto policy = std::make_shared<EqualizedGuidelinePolicy>();
-  for (auto _ : state) {
-    std::vector<sim::WorkstationConfig> cfgs;
-    for (std::size_t i = 0; i < stations; ++i) {
-      sim::WorkstationConfig cfg;
-      // Assemble via append rather than operator+: string concatenation of a
-      // literal with std::to_string trips a GCC 12 -Wrestrict false positive
-      // (GCC bug 105651) when inlined under -O2.
-      cfg.name = "b";
-      cfg.name += std::to_string(i);
-      cfg.opportunity = Opportunity{16 * 1024, 2};
-      cfg.params = Params{16};
-      cfg.policy = policy;
-      cfg.owner = std::make_shared<adversary::PoissonAdversary>(3000.0, 7 + i);
-      cfgs.push_back(std::move(cfg));
-    }
-    auto bag = sim::TaskBag::uniform(stations * 2048, 11);
-    benchmark::DoNotOptimize(sim::run_farm(cfgs, bag));
+    util::Table out({"variant", "sessions", "ms", "us/session"});
+    out.add_row({"model only", util::Table::fmt(static_cast<long long>(sessions)),
+                 util::Table::fmt(model_ms, 5),
+                 util::Table::fmt(model_ms * 1000.0 / sessions, 5)});
+    out.add_row({"with task bag", util::Table::fmt(static_cast<long long>(sessions)),
+                 util::Table::fmt(bag_ms, 5),
+                 util::Table::fmt(bag_ms * 1000.0 / sessions, 5)});
+    ctx.table(out, "single sessions, U = 65536, p = 4, Poisson owner");
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(stations));
-}
-BENCHMARK(BM_FarmScaling)->RangeMultiplier(2)->Range(1, 64);
 
-void BM_TaskBagPacking(benchmark::State& state) {
-  for (auto _ : state) {
-    auto bag = sim::TaskBag::uniform(1 << 14, 7);
-    while (!bag.done()) {
-      auto batch = bag.take_batch(700);
-      bag.mark_completed(batch);
-    }
-    benchmark::DoNotOptimize(bag.completed_work());
+  // 3. Task-bag packing: draining a bag through batched take/complete.
+  {
+    const std::size_t tasks = ctx.quick() ? (1u << 12) : (1u << 14);
+    const double ms = harness::time_best_of_ms(reps, [&] {
+      auto bag = sim::TaskBag::uniform(tasks, 7);
+      while (!bag.done()) {
+        auto batch = bag.take_batch(700);
+        bag.mark_completed(batch);
+      }
+    });
+    harness::write_perf_row(ctx, "taskbag_packing", static_cast<double>(tasks), ms,
+           static_cast<double>(tasks));
+    util::Table out({"tasks", "ms", "tasks/s"});
+    out.add_row({util::Table::fmt(static_cast<unsigned long long>(tasks)),
+                 util::Table::fmt(ms, 5),
+                 util::Table::fmt(ms > 0 ? static_cast<double>(tasks) / (ms / 1000.0)
+                                         : 0.0,
+                                  5)});
+    ctx.table(out, "task-bag packing (batch = 700 ticks)");
   }
 }
-BENCHMARK(BM_TaskBagPacking);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+const harness::Experiment& experiment_sim_perf() {
+  static const harness::Experiment e{
+      "E11", "sim_perf", "Simulator throughput baselines",
+      "bench_sim_perf",
+      "Wall-clock baselines for the discrete-event simulator: raw event-queue "
+      "churn, full scheduling sessions with and without a task bag attached, "
+      "and task-bag packing throughput.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

@@ -1,94 +1,164 @@
-// P1 — solver performance: reference O(P·N²) vs fast O(P·N·log N), thread
-// scaling of the block-parallel fast solver and of the policy evaluator.
-#include <benchmark/benchmark.h>
+// E10 — solver performance: reference O(P·N²) vs fast O(P·N·log N), thread
+// scaling of the block-parallel fast solver and of the policy evaluator,
+// and guideline-construction throughput.
+//
+// Self-timed on the harness clock (best-of-`reps` wall time) so the perf
+// record shares the tier/CSV/JSON plumbing with the model experiments; the
+// absolute numbers are one machine's sample, the shapes (scaling exponents,
+// thread speedups) are the claims.
+#include <cmath>
+#include <vector>
+
+#include "harness/harness.h"
 
 #include "core/equalized.h"
 #include "core/guidelines.h"
 #include "solver/fast_solver.h"
 #include "solver/policy_eval.h"
 #include "solver/reference_solver.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
-using namespace nowsched;
-
+namespace nowsched::bench {
 namespace {
 
-void BM_ReferenceSolver(benchmark::State& state) {
-  const auto max_l = static_cast<Ticks>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver::solve_reference(2, max_l, Params{16}));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ReferenceSolver)->Range(1 << 8, 1 << 12)->Complexity(benchmark::oNSquared);
+void run(harness::Context& ctx) {
+  const Params params{16};
+  const int reps = ctx.quick() ? 1 : 3;
 
-void BM_FastSolver(benchmark::State& state) {
-  const auto max_l = static_cast<Ticks>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver::solve_fast(2, max_l, Params{16}));
+  // 1. Reference O(N²) vs fast O(N log N) on the same grids.
+  {
+    util::Table out({"N", "reference ms", "fast ms", "speedup"});
+    const std::vector<Ticks> sizes =
+        ctx.quick() ? std::vector<Ticks>{256, 1024}
+                    : std::vector<Ticks>{256, 1024, 4096};
+    std::vector<double> log_n, log_ref, log_fast;
+    for (Ticks n : sizes) {
+      const double ref_ms = harness::time_best_of_ms(
+          reps, [&] { solver::solve_reference(2, n, params); });
+      const double fast_ms =
+          harness::time_best_of_ms(reps, [&] { solver::solve_fast(2, n, params); });
+      harness::write_perf_row(ctx, "reference", static_cast<double>(n), ref_ms, static_cast<double>(n));
+      harness::write_perf_row(ctx, "fast", static_cast<double>(n), fast_ms, static_cast<double>(n));
+      log_n.push_back(std::log(static_cast<double>(n)));
+      log_ref.push_back(std::log(std::max(ref_ms, 1e-6)));
+      log_fast.push_back(std::log(std::max(fast_ms, 1e-6)));
+      out.add_row({util::Table::fmt(static_cast<long long>(n)),
+                   util::Table::fmt(ref_ms, 5), util::Table::fmt(fast_ms, 5),
+                   util::Table::fmt(fast_ms > 0 ? ref_ms / fast_ms : 0.0, 4)});
+    }
+    ctx.table(out, "reference vs fast solver, max_p = 2, c = 16");
+    const auto ref_fit = util::fit_linear(log_n, log_ref);
+    const auto fast_fit = util::fit_linear(log_n, log_fast);
+    ctx.metric("reference_scaling_exponent", ref_fit.slope);
+    ctx.metric("fast_scaling_exponent", fast_fit.slope);
+    ctx.text("empirical scaling exponents (log-log slope): reference " +
+             util::Table::fmt(ref_fit.slope, 3) + " (theory 2), fast " +
+             util::Table::fmt(fast_fit.slope, 3) + " (theory ~1)");
   }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_FastSolver)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oNLogN);
 
-void BM_FastSolverHighP(benchmark::State& state) {
-  const auto p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver::solve_fast(p, 1 << 15, Params{16}));
+  // 2. Fast solver across interrupt budgets at a fixed grid.
+  {
+    const Ticks n = ctx.quick() ? (1 << 12) : (1 << 15);
+    util::Table out({"p", "ms", "states/s"});
+    for (int p = 1; p <= 8; p += (ctx.quick() ? 3 : 1)) {
+      const double ms =
+          harness::time_best_of_ms(reps, [&] { solver::solve_fast(p, n, params); });
+      const double states = static_cast<double>(n) * (p + 1);
+      harness::write_perf_row(ctx, "fast_high_p", static_cast<double>(p), ms, states);
+      out.add_row({util::Table::fmt(static_cast<long long>(p)),
+                   util::Table::fmt(ms, 5),
+                   util::Table::fmt(ms > 0 ? states / (ms / 1000.0) : 0.0, 5)});
+    }
+    ctx.table(out, "fast solver, N = " + std::to_string(n) + " lifespans");
   }
-}
-BENCHMARK(BM_FastSolverHighP)->DenseRange(1, 8);
 
-void BM_FastSolverParallel(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  util::ThreadPool pool(threads);
-  // Large c engages the block-parallel path (blocks of c lifespans).
-  const Params params{1024};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver::solve_fast(3, 1 << 18, params, &pool));
+  // 3. Thread scaling of the block-parallel fast solver (large c engages the
+  //    block path: c >= 256 and N > 4c).
+  {
+    const Params big_c{1024};
+    const Ticks n = ctx.quick() ? (1 << 15) : (1 << 18);
+    util::Table out({"threads", "ms", "speedup"});
+    double ms1 = 0.0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      util::ThreadPool pool(threads);
+      const double ms = harness::time_best_of_ms(
+          reps, [&] { solver::solve_fast(3, n, big_c, &pool); });
+      if (threads == 1) ms1 = ms;
+      harness::write_perf_row(ctx, "fast_parallel", static_cast<double>(threads), ms,
+             static_cast<double>(n));
+      out.add_row({util::Table::fmt(static_cast<unsigned long long>(threads)),
+                   util::Table::fmt(ms, 5),
+                   util::Table::fmt(ms > 0 ? ms1 / ms : 0.0, 3)});
+      if (threads == 4) ctx.metric("fast_parallel_speedup_4t", ms > 0 ? ms1 / ms : 0.0);
+    }
+    ctx.table(out, "block-parallel fast solver, c = 1024, N = " + std::to_string(n));
   }
-}
-BENCHMARK(BM_FastSolverParallel)->RangeMultiplier(2)->Range(1, 4)->UseRealTime();
 
-void BM_PolicyEvalEqualized(benchmark::State& state) {
-  const auto max_l = static_cast<Ticks>(state.range(0));
-  const EqualizedGuidelinePolicy policy;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solver::evaluate_policy_grid(policy, max_l, 2, Params{16}));
+  // 4. Policy-evaluation DP: serial grid sweep and thread scaling.
+  {
+    const EqualizedGuidelinePolicy equalized;
+    const AdaptiveGuidelinePolicy printed;
+    util::Table out({"evaluator", "x", "ms"});
+    const Ticks grid = ctx.quick() ? (1 << 10) : (1 << 13);
+    const double eq_ms = harness::time_best_of_ms(reps, [&] {
+      solver::evaluate_policy_grid(equalized, grid, 2, params);
+    });
+    harness::write_perf_row(ctx, "policy_eval_equalized", static_cast<double>(grid), eq_ms,
+           static_cast<double>(grid));
+    out.add_row({"equalized, serial", util::Table::fmt(static_cast<long long>(grid)),
+                 util::Table::fmt(eq_ms, 5)});
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      util::ThreadPool pool(threads);
+      const double ms = harness::time_best_of_ms(reps, [&] {
+        solver::evaluate_policy_grid(printed, grid, 3, params, &pool);
+      });
+      harness::write_perf_row(ctx, "policy_eval_parallel", static_cast<double>(threads), ms,
+             static_cast<double>(grid));
+      out.add_row({"printed, " + std::to_string(threads) + " threads",
+                   util::Table::fmt(static_cast<long long>(grid)),
+                   util::Table::fmt(ms, 5)});
+    }
+    ctx.table(out, "policy-evaluation DP");
   }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_PolicyEvalEqualized)->Range(1 << 9, 1 << 13);
 
-void BM_PolicyEvalParallel(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  util::ThreadPool pool(threads);
-  const AdaptiveGuidelinePolicy policy;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solver::evaluate_policy_grid(policy, 1 << 13, 3, Params{16}, &pool));
+  // 5. Guideline construction throughput (episodes built per second).
+  {
+    const Ticks l = 16 * 4096;
+    const int iters = ctx.quick() ? 200 : 2000;
+    util::Table out({"builder", "p", "ns/episode"});
+    for (int p = 1; p <= 6; p += (ctx.quick() ? 5 : 1)) {
+      const double eq_ms = harness::time_best_of_ms(reps, [&] {
+        for (int i = 0; i < iters; ++i) equalized_episode(l, p, params);
+      });
+      const double pr_ms = harness::time_best_of_ms(reps, [&] {
+        for (int i = 0; i < iters; ++i) adaptive_episode_guideline(l, p, params);
+      });
+      harness::write_perf_row(ctx, "equalized_episode", static_cast<double>(p), eq_ms,
+             static_cast<double>(iters));
+      harness::write_perf_row(ctx, "printed_episode", static_cast<double>(p), pr_ms,
+             static_cast<double>(iters));
+      out.add_row({"equalized", util::Table::fmt(static_cast<long long>(p)),
+                   util::Table::fmt(eq_ms * 1e6 / iters, 5)});
+      out.add_row({"printed", util::Table::fmt(static_cast<long long>(p)),
+                   util::Table::fmt(pr_ms * 1e6 / iters, 5)});
+    }
+    ctx.table(out, "episode construction, U = " + std::to_string(l));
   }
 }
-BENCHMARK(BM_PolicyEvalParallel)->RangeMultiplier(2)->Range(1, 4)->UseRealTime();
-
-void BM_EqualizedEpisodeConstruction(benchmark::State& state) {
-  const auto p = static_cast<int>(state.range(0));
-  Ticks l = 16 * 4096;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(equalized_episode(l, p, Params{16}));
-  }
-}
-BENCHMARK(BM_EqualizedEpisodeConstruction)->DenseRange(1, 6);
-
-void BM_PrintedGuidelineConstruction(benchmark::State& state) {
-  const auto p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(adaptive_episode_guideline(16 * 4096, p, Params{16}));
-  }
-}
-BENCHMARK(BM_PrintedGuidelineConstruction)->DenseRange(1, 6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+const harness::Experiment& experiment_solver_perf() {
+  static const harness::Experiment e{
+      "E10", "solver_perf", "Solver performance baselines",
+      "bench_solver_perf",
+      "Wall-clock baselines for the solvers: reference O(P·N²) vs fast "
+      "O(P·N·log N) with empirical scaling exponents, thread scaling of the "
+      "block-parallel fast solver, the policy-evaluation DP, and guideline "
+      "construction throughput.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

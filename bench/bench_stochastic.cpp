@@ -3,11 +3,12 @@
 // owners, run on the discrete-event simulator. Guaranteed-output schedules
 // are designed for the worst case; this bench measures what they give up —
 // or don't — against benign owners.
-#include <iostream>
+#include <functional>
 #include <memory>
 #include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "adversary/stochastic.h"
 #include "core/baselines.h"
 #include "core/equalized.h"
@@ -16,8 +17,7 @@
 #include "solver/policy_eval.h"
 #include "util/stats.h"
 
-using namespace nowsched;
-
+namespace nowsched::bench {
 namespace {
 
 struct OwnerSpec {
@@ -25,19 +25,15 @@ struct OwnerSpec {
   std::function<std::unique_ptr<adversary::Adversary>(std::uint64_t seed)> make;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
-  const Ticks u = flags.get_int("u", 16 * 2048);
+  const Ticks u = flags.get_int("u", ctx.quick() ? 16 * 512 : 16 * 2048);
   const int p = static_cast<int>(flags.get_int("p", 3));
-  const int trials = static_cast<int>(flags.get_int("trials", 400));
+  const int trials =
+      static_cast<int>(flags.get_int("trials", ctx.quick() ? 50 : 400));
 
-  bench::print_header("E8 / stochastic owners",
-                      "expected vs guaranteed output (Monte Carlo)");
-  util::CsvWriter csv(bench::csv_path(flags, "stochastic.csv"),
-                      {"policy", "owner", "mean_work", "p5_work", "guaranteed"});
+  ctx.csv({"policy", "owner", "mean_work", "p5_work", "guaranteed"});
 
   std::vector<std::pair<std::string, PolicyPtr>> policies;
   policies.emplace_back("single-block", std::make_shared<SingleBlockPolicy>());
@@ -80,22 +76,35 @@ int main(int argc, char** argv) {
                    util::Table::fmt(summary.quantile(0.05), 6),
                    util::Table::fmt(summary.quantile(0.95), 6),
                    util::Table::fmt(static_cast<long long>(guaranteed))});
-      csv.write_row({pname, owner.name, util::Table::fmt(summary.mean(), 9),
-                     util::Table::fmt(summary.quantile(0.05), 9),
-                     util::Table::fmt(static_cast<long long>(guaranteed))});
+      ctx.write_csv_row({pname, owner.name, util::Table::fmt(summary.mean(), 9),
+                         util::Table::fmt(summary.quantile(0.05), 9),
+                         util::Table::fmt(static_cast<long long>(guaranteed))});
     }
     out.add_rule();
   }
-  out.print(std::cout, "\nU = " + std::to_string(u) + ", p = " + std::to_string(p) +
-                           ", c = " + std::to_string(params.c) + ", " +
-                           std::to_string(trials) + " trials/cell");
-  std::cout <<
-      "\nShape checks (EXPERIMENTS.md E8):\n"
+  ctx.table(out, "U = " + std::to_string(u) + ", p = " + std::to_string(p) +
+                     ", c = " + std::to_string(params.c) + ", " +
+                     std::to_string(trials) + " trials/cell");
+  ctx.text(
+      "Shape checks (E8):\n"
       "  * single-block has the best expectation under benign owners but a\n"
       "    worthless guarantee — the §1.1 tension in one row;\n"
       "  * the guideline policies' expected work dominates their guarantee\n"
       "    and concentrates (p5 close to mean): insurance priced at the\n"
-      "    setup overhead only.\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+      "    setup overhead only.");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_stochastic() {
+  static const harness::Experiment e{
+      "E8", "stochastic", "Stochastic owners: expected vs guaranteed output",
+      "bench_stochastic",
+      "Monte-Carlo expected work of each policy under Poisson, Pareto, and "
+      "uniform owners on the discrete-event simulator, next to the minimax "
+      "guarantee — what worst-case insurance costs against benign owners.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

@@ -10,20 +10,19 @@
 //
 // The paper's Table 1 is symbolic; this bench instantiates it numerically
 // and verifies the row identities hold exactly on the tick grid.
-#include <iostream>
+#include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/equalized.h"
 #include "solver/extract.h"
 #include "solver/fast_solver.h"
-#include "util/csv.h"
 
-using namespace nowsched;
-
+namespace nowsched::bench {
 namespace {
 
-void emit_instance(Ticks u, int p, const Params& params, bool use_equalized,
-                   util::CsvWriter* csv) {
+void emit_instance(harness::Context& ctx, Ticks u, int p, const Params& params,
+                   bool use_equalized) {
   const auto table = solver::solve_fast(p, u, params);
   const EpisodeSchedule episode =
       use_equalized ? equalized_episode(u, p, params)
@@ -48,12 +47,10 @@ void emit_instance(Ticks u, int p, const Params& params, bool use_equalized,
     const Ticks residual = positive_sub(u, episode.end(k));
     const Ticks total = episode_work + table.value(p - 1, residual);
     worst = std::min(worst, total);
-    if (csv != nullptr) {
-      csv->write_row({static_cast<double>(u), static_cast<double>(p),
-                      static_cast<double>(k + 1), static_cast<double>(episode.end(k)),
-                      static_cast<double>(episode_work), static_cast<double>(residual),
-                      static_cast<double>(total)});
-    }
+    ctx.write_csv_row({static_cast<double>(u), static_cast<double>(p),
+                       static_cast<double>(k + 1), static_cast<double>(episode.end(k)),
+                       static_cast<double>(episode_work), static_cast<double>(residual),
+                       static_cast<double>(total)});
     if (m > head + tail + 1 && k == head) {
       out.add_row({"...", "...", "...", "...", "..."});
     }
@@ -65,31 +62,46 @@ void emit_instance(Ticks u, int p, const Params& params, bool use_equalized,
                  util::Table::fmt(static_cast<long long>(total))});
   }
 
-  std::cout << "\nU = " << u << " (U/c = " << u / params.c << "), p = " << p
-            << ", schedule " << (use_equalized ? "equalized" : "dp-optimal") << " with m = "
-            << m << " periods\n";
-  out.print(std::cout);
-  std::cout << "adversary's best option value = " << worst
-            << "   (exact W(p)[U] = " << table.value(p, u) << ")\n";
+  ctx.table(out, "U = " + std::to_string(u) + " (U/c = " +
+                     std::to_string(u / params.c) + "), p = " + std::to_string(p) +
+                     ", schedule " + (use_equalized ? "equalized" : "dp-optimal") +
+                     " with m = " + std::to_string(m) + " periods");
+  ctx.text("adversary's best option value = " +
+           util::Table::fmt(static_cast<long long>(worst)) + "   (exact W(p)[U] = " +
+           util::Table::fmt(static_cast<long long>(table.value(p, u))) + ")");
+}
+
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
+  const Params params{flags.get_int("c", 16)};
+  const bool use_equalized = flags.get_bool("equalized", false);
+
+  ctx.csv({"U", "p", "period", "interrupt_time", "episode_work", "residual",
+           "opportunity_work"});
+
+  const std::vector<Ticks> ratios =
+      ctx.quick() ? std::vector<Ticks>{64} : std::vector<Ticks>{256, 1024};
+  const int max_p = ctx.quick() ? 2 : 3;
+  for (Ticks ratio : ratios) {
+    for (int p = 1; p <= max_p; ++p) {
+      emit_instance(ctx, ratio * params.c, p, params, use_equalized);
+    }
+  }
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
-  const Params params{flags.get_int("c", 16)};
-  const bool use_equalized = flags.get_bool("equalized", false);
-
-  bench::print_header("E1 / Table 1", "consequences of the adversary's options");
-  util::CsvWriter csv(bench::csv_path(flags, "table1.csv"),
-                      {"U", "p", "period", "interrupt_time", "episode_work",
-                       "residual", "opportunity_work"});
-
-  for (Ticks ratio : {Ticks{256}, Ticks{1024}}) {
-    for (int p : {1, 2, 3}) {
-      emit_instance(ratio * params.c, p, params, use_equalized, &csv);
-    }
-  }
-  std::cout << "\nCSV written to " << csv.path() << "\n";
-  return 0;
+const harness::Experiment& experiment_table1() {
+  static const harness::Experiment e{
+      "E1", "table1", "Table 1: the consequences of the adversary's options",
+      "bench_table1",
+      "For each opportunity (U, p) and the DP-optimal episode schedule, every "
+      "adversary option (interrupt period k, or never) is enumerated with its "
+      "episode work, residual lifespan, and total opportunity work. The paper's "
+      "Table 1 is symbolic; these instances make it numeric and check that the "
+      "adversary's best option equals the exact game value W(p)[U].",
+      run};
+  return e;
 }
+
+}  // namespace nowsched::bench

@@ -6,31 +6,34 @@
 // with the paper's approximations alongside our exact grid values, plus the
 // DP optimum as ground truth.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/bounds.h"
 #include "core/closed_form.h"
 #include "core/guidelines.h"
 #include "solver/fast_solver.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
   const double c = static_cast<double>(params.c);
 
-  bench::print_header("E2 / Table 2", "parameter values for the case p = 1");
-  util::CsvWriter csv(bench::csv_path(flags, "table2.csv"),
-                      {"U_over_c", "m_opt_formula", "m_opt_real", "alpha",
-                       "W_opt_exact", "W_opt_paper_approx", "m_guideline_paper",
-                       "m_guideline_real", "W_guideline_exact", "W_dp"});
+  ctx.csv({"U_over_c", "m_opt_formula", "m_opt_real", "alpha", "W_opt_exact",
+           "W_opt_paper_approx", "m_guideline_paper", "m_guideline_real",
+           "W_guideline_exact", "W_dp"});
 
   util::Table out({"U/c", "m_opt (5.1)", "m_opt", "alpha", "t_1/c", "t_m/c",
                    "W_opt", "W approx", "m_a paper", "m_a", "W(S_a)", "W dp"});
 
-  for (Ticks ratio : {Ticks{64}, Ticks{256}, Ticks{1024}, Ticks{4096}, Ticks{16384}}) {
+  const std::vector<Ticks> ratios =
+      ctx.quick() ? std::vector<Ticks>{64, 256}
+                  : std::vector<Ticks>{64, 256, 1024, 4096, 16384};
+  for (Ticks ratio : ratios) {
     const Ticks u = ratio * params.c;
     const double ud = static_cast<double>(u);
 
@@ -65,20 +68,36 @@ int main(int argc, char** argv) {
                  util::Table::fmt(static_cast<long long>(w_guideline)),
                  util::Table::fmt(static_cast<long long>(w_dp))});
 
-    csv.write_row({static_cast<double>(ratio), bounds::optimal_p1_period_count(ud, c),
-                   static_cast<double>(opt.m), opt.alpha, static_cast<double>(w_opt),
-                   w_approx, static_cast<double>(m_paper),
-                   static_cast<double>(layout.total_periods),
-                   static_cast<double>(w_guideline), static_cast<double>(w_dp)});
+    ctx.write_csv_row({static_cast<double>(ratio),
+                       bounds::optimal_p1_period_count(ud, c),
+                       static_cast<double>(opt.m), opt.alpha,
+                       static_cast<double>(w_opt), w_approx,
+                       static_cast<double>(m_paper),
+                       static_cast<double>(layout.total_periods),
+                       static_cast<double>(w_guideline), static_cast<double>(w_dp)});
   }
-  out.print(std::cout, "\nTable 2 (c = " + std::to_string(params.c) + " ticks)");
-  std::cout <<
-      "\nPaper shape checks:\n"
+  ctx.table(out, "Table 2 (c = " + std::to_string(params.c) + " ticks)");
+  ctx.text(
+      "Paper shape checks:\n"
       "  * m_opt tracks sqrt(2U/c − 7/4) − 1/2 (eq. 5.1)\n"
       "  * t_m = t_{m−1} = (1+alpha)c with alpha in (0,1]\n"
       "  * W_opt ≈ U − sqrt(2cU) − c/2 (Table 2 approximation column)\n"
       "  * the S_a(1) guideline stays within low-order terms of W_opt and both\n"
-      "    match the DP ground truth column.\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+      "    match the DP ground truth column.");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_table2() {
+  static const harness::Experiment e{
+      "E2", "table2", "Table 2: parameter values for the case p = 1",
+      "bench_table2",
+      "Per lifespan ratio U/c: the closed-form optimal 1-interrupt schedule "
+      "(period count m, pivot α, first/last periods, guaranteed work) next to "
+      "the paper's approximations, the §3.2 adaptive guideline, and the DP "
+      "optimum as ground truth.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

@@ -10,9 +10,10 @@
 // deficit (U − W) normalized by √(2cU) — Thm 5.1 predicts the normalized
 // deficit converges to (2 − 2^{1−p}) from above as U grows.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
-#include "bench_common.h"
+#include "harness/harness.h"
+
 #include "core/bounds.h"
 #include "core/equalized.h"
 #include "core/guidelines.h"
@@ -20,26 +21,27 @@
 #include "solver/policy_eval.h"
 #include "util/thread_pool.h"
 
-using namespace nowsched;
+namespace nowsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
   const Params params{flags.get_int("c", 16)};
   const double c = static_cast<double>(params.c);
-  const int max_p = static_cast<int>(flags.get_int("max_p", 4));
+  const int max_p = static_cast<int>(flags.get_int("max_p", ctx.quick() ? 2 : 4));
   util::ThreadPool& pool = util::global_pool();
 
-  bench::print_header("E4 / Thm 5.1", "guaranteed work of the adaptive guidelines");
-  util::CsvWriter csv(bench::csv_path(flags, "theorem51.csv"),
-                      {"U_over_c", "p", "W_opt", "W_printed", "W_rationalized",
-                       "W_equalized", "bound_leading", "coeff_predicted",
-                       "coeff_printed", "coeff_equalized"});
+  ctx.csv({"U_over_c", "p", "W_opt", "W_printed", "W_rationalized", "W_equalized",
+           "bound_leading", "coeff_predicted", "coeff_printed", "coeff_equalized"});
 
   util::Table out({"U/c", "p", "W opt", "W printed", "W rationalzd", "W equalized",
                    "bound", "(2−2^{1−p})", "a_p exact", "opt def", "printed def",
                    "equalzd def"});
 
-  for (Ticks ratio : {Ticks{256}, Ticks{1024}, Ticks{4096}}) {
+  const std::vector<Ticks> ratios = ctx.quick()
+                                        ? std::vector<Ticks>{64, 256}
+                                        : std::vector<Ticks>{256, 1024, 4096};
+  for (Ticks ratio : ratios) {
     const Ticks u = ratio * params.c;
     const double ud = static_cast<double>(u);
     const double scale = std::sqrt(2.0 * c * ud);
@@ -68,23 +70,37 @@ int main(int argc, char** argv) {
                    util::Table::fmt(bound, 6), util::Table::fmt(coeff, 3),
                    util::Table::fmt(a_exact, 4), util::Table::fmt(def_opt, 3),
                    util::Table::fmt(def_pr, 3), util::Table::fmt(def_eq, 3)});
-      csv.write_row({static_cast<double>(ratio), static_cast<double>(p),
-                     static_cast<double>(w_opt), static_cast<double>(w_pr),
-                     static_cast<double>(w_ra), static_cast<double>(w_eq), bound, coeff,
-                     def_pr, def_eq});
+      ctx.write_csv_row({static_cast<double>(ratio), static_cast<double>(p),
+                         static_cast<double>(w_opt), static_cast<double>(w_pr),
+                         static_cast<double>(w_ra), static_cast<double>(w_eq), bound,
+                         coeff, def_pr, def_eq});
     }
     out.add_rule();
   }
-  out.print(std::cout, "\nThm 5.1 sweep, c = " + std::to_string(params.c) + " ticks");
-  std::cout <<
-      "\nShape checks (EXPERIMENTS.md E4):\n"
+  ctx.table(out, "Thm 5.1 sweep, c = " + std::to_string(params.c) + " ticks");
+  ctx.text(
+      "Shape checks (E4):\n"
       "  * 'opt def' and 'equalzd def' converge to the EXACT coefficient a_p\n"
       "    (a_p = a_{p−1} + 1/a_p: 1, φ=1.618, 2.095, 2.496, …) — they agree\n"
       "    with the printed Thm 5.1 constant (2 − 2^{1−p}) only at p <= 1;\n"
-      "    for p >= 2 the printed constant is unachievable (EXPERIMENTS.md E4);\n"
+      "    for p >= 2 the printed constant is unachievable (E4);\n"
       "  * the printed §3.2 schedule constants track the optimum for p <= 2\n"
       "    but drift for p >= 3 (OCR-garbled pivot/count; DESIGN.md §1);\n"
-      "  * p = 0 reproduces Prop 4.1(d): W = U − c for every variant.\n";
-  std::cout << "CSV written to " << csv.path() << "\n";
-  return 0;
+      "  * p = 0 reproduces Prop 4.1(d): W = U − c for every variant.");
 }
+
+}  // namespace
+
+const harness::Experiment& experiment_theorem51() {
+  static const harness::Experiment e{
+      "E4", "theorem51", "Theorem 5.1: guaranteed work of the adaptive guidelines",
+      "bench_theorem51",
+      "Exact policy-evaluation of the printed, rationalized-pivot, and "
+      "equalized guidelines against the Thm 5.1 leading-order bound and the DP "
+      "optimum; deficits are normalized by √(2cU) to expose the limiting "
+      "coefficient as U grows.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

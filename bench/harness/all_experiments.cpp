@@ -1,0 +1,45 @@
+// The single authoritative list of experiments, in EXPERIMENTS.md order.
+// Each bench_<slug>.cpp defines its experiment_<slug>() factory; adding an
+// experiment means adding one line here (the registry test counts them).
+#include "harness/harness.h"
+
+namespace nowsched::bench {
+
+const harness::Experiment& experiment_table1();
+const harness::Experiment& experiment_table2();
+const harness::Experiment& experiment_nonadaptive();
+const harness::Experiment& experiment_theorem51();
+const harness::Experiment& experiment_adaptive_vs_optimal();
+const harness::Experiment& experiment_policy_comparison();
+const harness::Experiment& experiment_observations();
+const harness::Experiment& experiment_stochastic();
+const harness::Experiment& experiment_checkpoint();
+const harness::Experiment& experiment_solver_perf();
+const harness::Experiment& experiment_sim_perf();
+const harness::Experiment& experiment_farm_scaling();
+
+}  // namespace nowsched::bench
+
+namespace nowsched::bench::harness {
+
+void register_all_experiments() {
+  static const bool registered = [] {
+    auto& registry = Registry::instance();
+    registry.add(experiment_table1());              // E1
+    registry.add(experiment_table2());              // E2
+    registry.add(experiment_nonadaptive());         // E3
+    registry.add(experiment_theorem51());           // E4
+    registry.add(experiment_adaptive_vs_optimal()); // E5
+    registry.add(experiment_policy_comparison());   // E6
+    registry.add(experiment_observations());        // E7
+    registry.add(experiment_stochastic());          // E8
+    registry.add(experiment_checkpoint());          // E9
+    registry.add(experiment_solver_perf());         // E10
+    registry.add(experiment_sim_perf());            // E11
+    registry.add(experiment_farm_scaling());        // E12
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace nowsched::bench::harness

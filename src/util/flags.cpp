@@ -1,24 +1,50 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace nowsched::util {
 
+namespace {
+
+[[noreturn]] void parse_error(const std::string& program, const std::string& detail) {
+  std::fprintf(stderr, "%s: usage error: %s\n",
+               program.empty() ? "nowsched" : program.c_str(), detail.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
 Flags::Flags(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  bool flags_ended = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
+    if (!flags_ended && arg == "--") {
+      // Conventional end-of-flags separator: not a flag, not a positional.
+      flags_ended = true;
+      continue;
+    }
+    if (!flags_ended && arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "true";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      if (key.empty()) {
+        parse_error(program_, "empty flag name in \"" + arg + "\"");
       }
+      values_[std::move(key)] =
+          eq == std::string::npos ? "true" : arg.substr(eq + 1);
     } else {
       positionals_.push_back(std::move(arg));
     }
   }
+}
+
+void Flags::usage_error(const std::string& key, const char* expected,
+                        const std::string& value) const {
+  parse_error(program_,
+              "--" + key + " expects " + expected + ", got \"" + value + "\"");
 }
 
 bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
@@ -31,19 +57,38 @@ std::string Flags::get(const std::string& key, const std::string& fallback) cons
 std::int64_t Flags::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    usage_error(key, "an integer", value);
+  }
+  return parsed;
 }
 
 double Flags::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    usage_error(key, "a number", value);
+  }
+  return parsed;
 }
 
 bool Flags::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  usage_error(key, "a boolean (true/false, 1/0, yes/no, on/off)", value);
 }
 
 }  // namespace nowsched::util

@@ -66,6 +66,35 @@ void Table::print(std::ostream& os, const std::string& title) const {
   }
 }
 
+std::string Table::to_markdown() const {
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (char ch : cell) {
+      if (ch == '|') out += "\\|";
+      else out += ch;
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << '|';
+  for (const auto& h : headers_) os << ' ' << escape(h) << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (aligns_[i] == Align::kRight ? " ---: |" : " :--- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;  // rules have no markdown equivalent
+    os << '|';
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      os << ' ' << escape(i < row.size() ? row[i] : std::string{}) << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
 std::string Table::to_string(const std::string& title) const {
   std::ostringstream os;
   print(os, title);

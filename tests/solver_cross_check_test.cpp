@@ -50,6 +50,37 @@ TEST(CrossCheckParallel, BlockParallelMatchesSerial) {
   }
 }
 
+TEST(CrossCheckParallel, ForcedBlockParallelPathMatchesReferenceOracle) {
+  // Force the block-parallel branch (pool size > 1, c >= 256, max_l > 4c) and
+  // compare against the O(N²) oracle directly, not just the serial fast
+  // solver — this is the only place the parallel path meets ground truth.
+  util::ThreadPool pool(4);
+  const Params params{256};
+  const Ticks max_l = 256 * 9;  // 9c: several parallel blocks plus a stub
+  const auto ref = solve_reference(3, max_l, params);
+  const auto parallel = solve_fast(3, max_l, params, &pool);
+  for (int p = 0; p <= 3; ++p) {
+    for (Ticks l = 0; l <= max_l; ++l) {
+      ASSERT_EQ(parallel.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+TEST(CrossCheckParallel, BoundaryCJustAtThresholdMatchesReference) {
+  // c exactly at the 256 threshold with max_l exactly one tick past 4c — the
+  // smallest grid that still takes the parallel branch.
+  util::ThreadPool pool(2);
+  const Params params{256};
+  const Ticks max_l = 4 * 256 + 1;
+  const auto ref = solve_reference(2, max_l, params);
+  const auto parallel = solve_fast(2, max_l, params, &pool);
+  for (int p = 0; p <= 2; ++p) {
+    for (Ticks l = 0; l <= max_l; ++l) {
+      ASSERT_EQ(parallel.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
 TEST(CrossCheckParallel, SmallCFallsBackToSerialPathCorrectly) {
   util::ThreadPool pool(4);
   const Params params{8};

@@ -53,6 +53,18 @@ TEST(Table, FmtRoundsToPrecision) {
   EXPECT_EQ(Table::fmt(1234.5678, 6), "1234.57");
 }
 
+TEST(Table, MarkdownRendersAlignmentEscapingAndDropsRules) {
+  Table t({"name", "w"}, {Align::kLeft, Align::kRight});
+  t.add_row({"pipe|cell", "1"});
+  t.add_rule();
+  t.add_row({"y", "22"});
+  EXPECT_EQ(t.to_markdown(),
+            "| name | w |\n"
+            "| :--- | ---: |\n"
+            "| pipe\\|cell | 1 |\n"
+            "| y | 22 |\n");
+}
+
 TEST(Table, RowCountTracksDataRows) {
   Table t({"v"});
   EXPECT_EQ(t.rows(), 0u);
@@ -129,12 +141,81 @@ TEST(Flags, FallbacksUsedWhenAbsent) {
 }
 
 TEST(Flags, BoolSpellings) {
-  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
-  Flags flags(5, argv);
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false",
+                        "--e=on", "--f=off", "--g=no", "--h=0"};
+  Flags flags(9, argv);
   EXPECT_TRUE(flags.get_bool("a", false));
   EXPECT_TRUE(flags.get_bool("b", false));
   EXPECT_TRUE(flags.get_bool("c", false));
   EXPECT_FALSE(flags.get_bool("d", true));
+  EXPECT_TRUE(flags.get_bool("e", false));
+  EXPECT_FALSE(flags.get_bool("f", true));
+  EXPECT_FALSE(flags.get_bool("g", true));
+  EXPECT_FALSE(flags.get_bool("h", true));
+}
+
+TEST(Flags, DoubleDashEndsFlagParsing) {
+  const char* argv[] = {"prog", "--u=5", "--", "--not-a-flag", "file.txt"};
+  Flags flags(5, argv);
+  EXPECT_EQ(flags.get_int("u", 0), 5);
+  EXPECT_FALSE(flags.has("not-a-flag"));
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[0], "--not-a-flag");
+  EXPECT_EQ(flags.positionals()[1], "file.txt");
+}
+
+TEST(Flags, NegativeAndWhitespaceFreeNumbersParse) {
+  const char* argv[] = {"prog", "--n=-42", "--x=-2.5e3", "--big=9223372036854775807"};
+  Flags flags(4, argv);
+  EXPECT_EQ(flags.get_int("n", 0), -42);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), -2500.0);
+  EXPECT_EQ(flags.get_int("big", 0), INT64_MAX);
+}
+
+using FlagsDeathTest = ::testing::Test;
+
+TEST(FlagsDeathTest, GarbageIntIsAUsageErrorNotZero) {
+  const char* argv[] = {"prog", "--u=garbage"};
+  Flags flags(2, argv);
+  EXPECT_EXIT(flags.get_int("u", 0), ::testing::ExitedWithCode(2),
+              "usage error: --u expects an integer, got \"garbage\"");
+}
+
+TEST(FlagsDeathTest, TrailingJunkIntIsAUsageErrorNotPrefix) {
+  const char* argv[] = {"prog", "--u=12abc"};
+  Flags flags(2, argv);
+  EXPECT_EXIT(flags.get_int("u", 0), ::testing::ExitedWithCode(2),
+              "usage error: --u expects an integer, got \"12abc\"");
+}
+
+TEST(FlagsDeathTest, EmptyAndOverflowingIntsAreUsageErrors) {
+  const char* argv[] = {"prog", "--a=", "--b=99999999999999999999"};
+  Flags flags(3, argv);
+  EXPECT_EXIT(flags.get_int("a", 0), ::testing::ExitedWithCode(2), "--a expects");
+  EXPECT_EXIT(flags.get_int("b", 0), ::testing::ExitedWithCode(2), "--b expects");
+}
+
+TEST(FlagsDeathTest, ValuelessFlagReadAsIntNamesTheFlag) {
+  // `--u` (no value) stores "true"; asking for an int must not yield 0.
+  const char* argv[] = {"prog", "--u"};
+  Flags flags(2, argv);
+  EXPECT_EXIT(flags.get_int("u", 0), ::testing::ExitedWithCode(2),
+              "--u expects an integer, got \"true\"");
+}
+
+TEST(FlagsDeathTest, GarbageDoubleAndBoolAreUsageErrors) {
+  const char* argv[] = {"prog", "--ratio=2.5x", "--flag=maybe"};
+  Flags flags(3, argv);
+  EXPECT_EXIT(flags.get_double("ratio", 0.0), ::testing::ExitedWithCode(2),
+              "--ratio expects a number, got \"2.5x\"");
+  EXPECT_EXIT(flags.get_bool("flag", false), ::testing::ExitedWithCode(2),
+              "--flag expects a boolean");
+}
+
+TEST(FlagsDeathTest, EmptyKeyIsRejectedAtParseTime) {
+  const char* argv_eq[] = {"prog", "--=v"};
+  EXPECT_EXIT(Flags(2, argv_eq), ::testing::ExitedWithCode(2),
+              "empty flag name in \"--=v\"");
 }
 
 }  // namespace
