@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare a fresh set of BENCH_*.json records against committed baselines.
+
+Usage:
+    python3 bench/compare_baselines.py --candidate <dir> [--baseline bench/baselines]
+                                       [--tolerance 4.0] [--strict]
+
+For every BENCH_<slug>.json in the baseline directory the script checks the
+candidate directory for the matching record and compares:
+
+  * ok          — a candidate that crashed is always an error (even warn-only);
+  * wall_ms     — flagged when candidate/baseline falls outside
+                  [1/tolerance, tolerance]. Wall clocks are only compared when
+                  the two records ran the same tier (CI runs --tier=quick
+                  against committed full-tier baselines: incomparable, so the
+                  script falls back to shape checks);
+  * metrics     — same keys must exist; values must be finite; same-tier
+                  values are ratio-checked like wall_ms. When either side is
+                  0 no ratio is defined, so any change from/to zero warns
+                  with its own message (e.g. `wavefront_crossover_c`
+                  becoming measurable on a multicore host).
+
+Default mode is warn-only (exit 0 with warnings printed) so the CI gate can
+run before run-to-run variance data has accumulated; --strict turns warnings
+into a non-zero exit for local use. Note the `experiments` CMake target
+regenerates bench/baselines *in place* — to check drift locally, run the
+driver into a scratch directory and compare that against the committed
+baselines:
+
+    ./build/bench/run_experiments --tier=full --outdir=/tmp/fresh \
+        --doc=/tmp/fresh/EXPERIMENTS.md
+    python3 bench/compare_baselines.py --candidate /tmp/fresh --strict
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_records(directory: Path):
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            records[path.name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            records[path.name] = {"_unreadable": str(exc)}
+    return records
+
+
+def compare_values(candidate: float, baseline: float, tolerance: float):
+    """None when within tolerance, else a short reason for the warning."""
+    if baseline <= 0.0 or candidate <= 0.0:
+        if candidate == baseline:
+            return None
+        return "changed from/to zero — no ratio defined"
+    r = candidate / baseline
+    if (1.0 / tolerance) <= r <= tolerance:
+        return None
+    return f"outside {tolerance:g}x tolerance"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--candidate", required=True, type=Path,
+                        help="directory with freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", default=Path("bench/baselines"), type=Path,
+                        help="directory with committed baselines")
+    parser.add_argument("--tolerance", default=4.0, type=float,
+                        help="allowed wall_ms / metric ratio either way")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
+    args = parser.parse_args()
+
+    baselines = load_records(args.baseline)
+    candidates = load_records(args.candidate)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {args.baseline}")
+        return 1
+
+    errors, warnings = [], []
+
+    for name, base in sorted(baselines.items()):
+        cand = candidates.get(name)
+        if cand is None:
+            errors.append(f"{name}: missing from candidate dir {args.candidate}")
+            continue
+        if "_unreadable" in cand or "_unreadable" in base:
+            errors.append(f"{name}: unreadable JSON "
+                          f"({cand.get('_unreadable', base.get('_unreadable'))})")
+            continue
+        if not cand.get("ok", False):
+            errors.append(f"{name}: candidate record has ok=false "
+                          f"({cand.get('error', 'no error text')!r})")
+            continue
+
+        same_tier = cand.get("tier") == base.get("tier")
+        if same_tier:
+            why = compare_values(cand.get("wall_ms", 0.0), base.get("wall_ms", 0.0),
+                                 args.tolerance)
+            if why:
+                warnings.append(
+                    f"{name}: wall_ms {cand.get('wall_ms', 0.0):.1f} vs baseline "
+                    f"{base.get('wall_ms', 0.0):.1f} ({why})")
+        else:
+            warnings.append(
+                f"{name}: tier mismatch (candidate {cand.get('tier')!r} vs "
+                f"baseline {base.get('tier')!r}) — wall clocks not compared")
+
+        base_metrics = base.get("metrics", {})
+        cand_metrics = cand.get("metrics", {})
+        for key in sorted(base_metrics):
+            if key not in cand_metrics:
+                warnings.append(f"{name}: metric {key!r} missing from candidate")
+                continue
+            value = cand_metrics[key]
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                errors.append(f"{name}: metric {key!r} is not finite: {value!r}")
+                continue
+            if same_tier:
+                why = compare_values(float(value), float(base_metrics[key]),
+                                     args.tolerance)
+                if why:
+                    warnings.append(
+                        f"{name}: metric {key!r} = {value:g} vs baseline "
+                        f"{base_metrics[key]:g} ({why})")
+
+    for name in sorted(set(candidates) - set(baselines)):
+        warnings.append(f"{name}: no committed baseline (new experiment?) — "
+                        f"regenerate bench/baselines to adopt it")
+
+    for line in errors:
+        print(f"error: {line}")
+    for line in warnings:
+        print(f"warning: {line}")
+    compared = len(baselines)
+    print(f"compared {compared} records: {len(errors)} error(s), "
+          f"{len(warnings)} warning(s)"
+          + ("" if errors or warnings else " — all within tolerance"))
+
+    if errors:
+        return 1
+    if warnings and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

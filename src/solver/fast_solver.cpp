@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <span>
+#include <thread>
+#include <vector>
 
 namespace nowsched::solver {
 
@@ -38,55 +42,155 @@ Ticks crossover_best(std::span<const Ticks> cur, std::span<const Ticks> prev, Ti
   return std::max(a(lo), b(hi));
 }
 
+/// One fused pass over lifespans [lo, hi): crossover scan + carry merge.
+/// Requires cur[] and prev[] final at every index < lo (and prev also at
+/// the indices < lo the scans reach — same bound).
+void fill_range(std::span<Ticks> cur, std::span<const Ticks> prev, Ticks lo,
+                Ticks hi, Ticks c) {
+  for (Ticks l = lo; l < hi; ++l) {
+    cur[static_cast<std::size_t>(l)] =
+        std::max(crossover_best(cur, prev, l, c),
+                 cur[static_cast<std::size_t>(l - 1)]);
+  }
+}
+
+/// Measured cost of one crossover binary-search step (a couple of indexed
+/// reads and compares), sampled once per process on a synthetic 1-Lipschitz
+/// table. Feeds the plan_wavefront cell-cost model so the engagement
+/// threshold tracks the machine it runs on instead of a hardcoded c bound.
+double scan_step_ns() {
+  static const double measured = [] {
+    constexpr Ticks kN = 1 << 12;
+    constexpr Ticks kC = 64;
+    std::vector<Ticks> prev(static_cast<std::size_t>(kN) + 1);
+    std::vector<Ticks> cur(static_cast<std::size_t>(kN) + 1, 0);
+    for (Ticks l = 0; l <= kN; ++l) {
+      prev[static_cast<std::size_t>(l)] = positive_sub(l, kC);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    fill_range(cur, prev, 1, kN + 1, kC);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double total_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    // ~log2(N) search steps per lifespan.
+    const double steps =
+        static_cast<double>(kN) * std::log2(static_cast<double>(kN));
+    volatile Ticks sink = cur[static_cast<std::size_t>(kN)];
+    (void)sink;
+    return std::max(0.1, total_ns / steps);
+  }();
+  return measured;
+}
+
 }  // namespace
 
+WavefrontPlan plan_wavefront(int max_p, Ticks max_lifespan, const Params& params,
+                             util::ThreadPool* pool) {
+  WavefrontPlan plan;
+  const Ticks c = params.c;
+  plan.num_blocks =
+      max_lifespan > 0
+          ? static_cast<std::size_t>((max_lifespan + c - 1) / c)
+          : 0;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t pool_threads = pool != nullptr ? pool->size() : 1;
+  plan.width = static_cast<int>(std::min<std::size_t>(
+      {static_cast<std::size_t>(std::max(max_p, 0)), pool_threads, hw}));
+
+  if (pool == nullptr) {
+    plan.reason = "no pool";
+    return plan;
+  }
+  plan.dispatch_ns = pool->dispatch_overhead_ns();
+  plan.cell_ns_estimate = scan_step_ns() * static_cast<double>(c) *
+                          std::log2(static_cast<double>(max_lifespan) + 2.0);
+  if (plan.width < 2) {
+    // Fewer than two cells can ever run concurrently (single level, single
+    // pool thread, or a 1-core machine) — the wavefront can only lose.
+    plan.reason = "DAG width < 2";
+    return plan;
+  }
+  if (plan.num_blocks < 3) {
+    plan.reason = "too few blocks to fill the pipeline";
+    return plan;
+  }
+  // Engage only when a cell's own work clearly amortizes its dispatch. The
+  // margin covers model error and the pipeline's fill/drain slack; at the
+  // margin the wavefront is near break-even, comfortably past it the win
+  // approaches the width.
+  constexpr double kEngageMargin = 8.0;
+  if (plan.cell_ns_estimate < kEngageMargin * plan.dispatch_ns) {
+    plan.reason = "cell work does not amortize dispatch overhead";
+    return plan;
+  }
+  plan.engage = true;
+  plan.reason = "engaged";
+  return plan;
+}
+
 ValueTable solve_fast(int max_p, Ticks max_lifespan, const Params& params,
-                      util::ThreadPool* pool) {
+                      util::ThreadPool* pool, ParallelMode mode) {
   ValueTable table(max_p, max_lifespan, params);
   const Ticks c = params.c;
-  const auto n = static_cast<std::size_t>(max_lifespan);
 
   auto level0 = table.mutable_level(0);
   for (Ticks l = 0; l <= max_lifespan; ++l) {
     level0[static_cast<std::size_t>(l)] = positive_sub(l, c);
   }
 
-  for (int p = 1; p <= max_p; ++p) {
-    auto cur = table.mutable_level(p);
-    auto prev = table.level(p - 1);
-    cur[0] = 0;
-
-    const bool parallel = pool != nullptr && pool->size() > 1 && c >= 256 &&
-                          max_lifespan > 4 * c;
-    if (!parallel) {
-      for (Ticks l = 1; l <= max_lifespan; ++l) {
-        const Ticks best = crossover_best(cur, prev, l, c);
-        cur[static_cast<std::size_t>(l)] =
-            std::max(best, cur[static_cast<std::size_t>(l - 1)]);
-      }
-      continue;
-    }
-
-    // Block-parallel: within [block, block + c) the scans only read cur[]
-    // below the block start, which is already final.
-    for (Ticks block = 1; block <= max_lifespan; block += c) {
-      const Ticks block_end = std::min(max_lifespan + 1, block + c);
-      pool->parallel_for_chunks(
-          static_cast<std::size_t>(block), static_cast<std::size_t>(block_end),
-          [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t l = lo; l < hi; ++l) {
-              cur[l] = crossover_best(cur, prev, static_cast<Ticks>(l), c);
-            }
-          });
-      // Sequential carry merge for this block.
-      for (Ticks l = block; l < block_end; ++l) {
-        cur[static_cast<std::size_t>(l)] =
-            std::max(cur[static_cast<std::size_t>(l)],
-                     cur[static_cast<std::size_t>(l - 1)]);
-      }
-    }
-    (void)n;
+  bool wavefront = false;
+  switch (mode) {
+    case ParallelMode::kForceSequential:
+      break;
+    case ParallelMode::kForceWavefront:
+      wavefront = pool != nullptr && max_p >= 1 && max_lifespan >= 1;
+      break;
+    case ParallelMode::kAuto:
+      wavefront = max_p >= 1 && max_lifespan >= 1 &&
+                  plan_wavefront(max_p, max_lifespan, params, pool).engage;
+      break;
   }
+
+  if (!wavefront) {
+    for (int p = 1; p <= max_p; ++p) {
+      fill_range(table.mutable_level(p), table.level(p - 1), 1, max_lifespan + 1,
+                 c);
+    }
+    return table;
+  }
+
+  // Wavefront over the (level, block) grid: block b of level p covers
+  // lifespans [1 + b·c, 1 + (b+1)·c) ∩ [1, max_lifespan]. Cell (p, b) reads
+  //   * cur  = level p   at indices <= l − c < block start  → cells (p, <b),
+  //   * prev = level p−1 at the same indices                → cells (p−1, <b),
+  // so its only direct dependencies are (p, b−1) and (p−1, b−1); everything
+  // earlier follows transitively along those chains. Level 0 and every
+  // level's l = 0 entry are final before the graph starts (filled above /
+  // zero-initialized). One task per cell, zero barriers.
+  const std::size_t num_blocks =
+      static_cast<std::size_t>((max_lifespan + c - 1) / c);
+  util::TaskGraph graph;
+  auto cell_id = [num_blocks](int p, std::size_t b) {
+    return static_cast<std::size_t>(p - 1) * num_blocks + b;
+  };
+  for (int p = 1; p <= max_p; ++p) {
+    const std::span<Ticks> cur = table.mutable_level(p);
+    const std::span<const Ticks> prev = table.level(p - 1);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const Ticks lo = 1 + static_cast<Ticks>(b) * c;
+      const Ticks hi = std::min(max_lifespan + 1, lo + c);
+      const util::TaskGraph::TaskId id =
+          graph.add_task([cur, prev, lo, hi, c] { fill_range(cur, prev, lo, hi, c); });
+      assert(id == cell_id(p, b));
+      (void)id;
+      if (b > 0) {
+        graph.add_edge(cell_id(p, b - 1), cell_id(p, b));
+        if (p > 1) graph.add_edge(cell_id(p - 1, b - 1), cell_id(p, b));
+      }
+    }
+  }
+  pool->run_dag(graph);
   return table;
 }
 

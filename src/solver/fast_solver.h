@@ -9,20 +9,67 @@
 // an unproductive period), so
 //   V_p(L) = max( V_p(L − 1),  max_{t in [c, L]} min(A, B) ).
 //
-// The V_p(L−1) carry serializes L, but the crossover searches within a block
-// of c consecutive lifespans only read V_p values below the block, so blocks
-// parallelize; a sequential prefix-max merges the carry.
+// Parallel structure: cut every level into blocks of c consecutive
+// lifespans. Within a block the crossover scans read V_p only at indices
+// l − t <= l − c, i.e. strictly below the block start, and V_{p−1} at the
+// same indices — so cell (p, b) of the (level, block) grid depends on
+// exactly two cells: (p, b−1) for the carry and its own level's earlier
+// values, and (p−1, b−1) for the previous level's values. solve_fast runs
+// the whole grid as one task-graph wavefront on util::ThreadPool::run_dag —
+// no barrier anywhere; after a one-block pipeline fill, all max_p levels
+// advance concurrently. DESIGN.md "Parallel solver architecture" has the
+// diagram and the measured numbers.
 #pragma once
+
+#include <cstddef>
 
 #include "solver/value_table.h"
 #include "util/thread_pool.h"
 
 namespace nowsched::solver {
 
+/// How solve_fast decides between the sequential and the wavefront path.
+enum class ParallelMode {
+  kAuto,            ///< engage the wavefront iff plan_wavefront() says it pays
+  kForceWavefront,  ///< always take the wavefront path (tests/benches); falls
+                    ///< back to sequential only when `pool` is null
+  kForceSequential, ///< never parallelize, even with a pool
+};
+
+/// The engagement decision for a prospective wavefront run, with the
+/// calibrated quantities that produced it — benches report these, and the
+/// ROADMAP's crossover notes are written from them.
+struct WavefrontPlan {
+  bool engage = false;
+  std::size_t num_blocks = 0;    ///< ceil(max_lifespan / c) blocks per level
+  int width = 0;                 ///< max concurrent cells:
+                                 ///< min(max_p, pool size, hardware threads)
+  double cell_ns_estimate = 0.0; ///< modeled cost of one (p, block) cell
+  double dispatch_ns = 0.0;      ///< measured per-task overhead of `pool`
+  const char* reason = "";       ///< one-line why (engaged or declined)
+};
+
+/// Decides whether the wavefront path is expected to beat sequential on this
+/// grid with this pool. Auto-calibrated, not hardcoded: the per-cell work is
+/// modeled from a measured scan-step cost (timed once per process) and
+/// compared against the pool's measured per-task dispatch overhead
+/// (util::ThreadPool::dispatch_overhead_ns); the DAG width min(max_p, pool,
+/// hardware) must also be >= 2 — on a 1-core machine the plan therefore
+/// never engages, which is the correct answer there. Pure in its inputs
+/// apart from the two one-time calibrations.
+WavefrontPlan plan_wavefront(int max_p, Ticks max_lifespan, const Params& params,
+                             util::ThreadPool* pool);
+
 /// Fills W(p)[L] for all p in [0, max_p], L in [0, max_lifespan].
-/// `pool` enables block-parallel level construction (worthwhile when
-/// c >= ~256 ticks); pass nullptr for serial.
+///
+/// `pool` enables the wavefront-parallel path (subject to `mode`); pass
+/// nullptr for strictly serial. The pool is only used through blocking
+/// run_dag calls — solve_fast returns with the table complete and all
+/// worker writes visible to the caller (see util/thread_pool.h for the
+/// happens-before contract). Do not call from inside a task running on the
+/// same pool.
 ValueTable solve_fast(int max_p, Ticks max_lifespan, const Params& params,
-                      util::ThreadPool* pool = nullptr);
+                      util::ThreadPool* pool = nullptr,
+                      ParallelMode mode = ParallelMode::kAuto);
 
 }  // namespace nowsched::solver

@@ -9,25 +9,25 @@ ValueTable::ValueTable(int max_p, Ticks max_lifespan, const Params& params)
   require_valid(params);
   if (max_p < 0) throw std::invalid_argument("ValueTable: max_p must be >= 0");
   if (max_lifespan < 0) throw std::invalid_argument("ValueTable: max_lifespan >= 0");
-  levels_.assign(static_cast<std::size_t>(max_p) + 1,
-                 std::vector<Ticks>(static_cast<std::size_t>(max_lifespan) + 1, 0));
+  slab_.assign((static_cast<std::size_t>(max_p) + 1) * stride(), 0);
 }
 
 Ticks ValueTable::value(int p, Ticks lifespan) const {
   if (p < 0 || p > max_p_ || lifespan < 0 || lifespan > max_l_) {
     throw std::out_of_range("ValueTable::value: (p, L) outside the table");
   }
-  return levels_[static_cast<std::size_t>(p)][static_cast<std::size_t>(lifespan)];
+  return slab_[static_cast<std::size_t>(p) * stride() +
+               static_cast<std::size_t>(lifespan)];
 }
 
 std::span<const Ticks> ValueTable::level(int p) const {
   if (p < 0 || p > max_p_) throw std::out_of_range("ValueTable::level: bad p");
-  return levels_[static_cast<std::size_t>(p)];
+  return {slab_.data() + static_cast<std::size_t>(p) * stride(), stride()};
 }
 
 std::span<Ticks> ValueTable::mutable_level(int p) {
   if (p < 0 || p > max_p_) throw std::out_of_range("ValueTable::mutable_level: bad p");
-  return levels_[static_cast<std::size_t>(p)];
+  return {slab_.data() + static_cast<std::size_t>(p) * stride(), stride()};
 }
 
 }  // namespace nowsched::solver

@@ -15,6 +15,11 @@
 // Values are exact integers; `solve_reference` is the O(P·N²) oracle and
 // `solve_fast` the O(P·N·log N) production solver (they agree bit-for-bit;
 // see tests/solver_cross_check_test.cpp).
+//
+// Storage is one contiguous slab of (max_p+1) × (max_lifespan+1) Ticks in
+// level-major order, so level(p) / mutable_level(p) are zero-copy spans into
+// adjacent memory — the wavefront solver walks level p and level p−1
+// together and wants both streams prefetch-friendly.
 #pragma once
 
 #include <cstddef>
@@ -27,7 +32,7 @@ namespace nowsched::solver {
 
 class ValueTable {
  public:
-  /// An uninitialized table; filled by the solvers.
+  /// A zero-initialized table; filled by the solvers.
   ValueTable(int max_p, Ticks max_lifespan, const Params& params);
 
   /// W(p)[L]; requires 0 <= p <= max_p and 0 <= L <= max_lifespan.
@@ -41,13 +46,24 @@ class ValueTable {
   const Params& params() const noexcept { return params_; }
 
   /// Mutable level access for the solvers.
+  ///
+  /// Concurrency contract (what the wavefront solver relies on): distinct
+  /// levels are disjoint element ranges of one slab, so two threads may
+  /// write different levels — or write level p while a third reads level
+  /// p−1 at indices already final — without a data race, provided the
+  /// writer/reader ordering is established externally (the thread pool's
+  /// run_dag dependency edges do this; see util/thread_pool.h). The spans
+  /// themselves are stable: no member function invalidates them after
+  /// construction.
   std::span<Ticks> mutable_level(int p);
 
  private:
+  std::size_t stride() const noexcept { return static_cast<std::size_t>(max_l_) + 1; }
+
   int max_p_;
   Ticks max_l_;
   Params params_;
-  std::vector<std::vector<Ticks>> levels_;  // levels_[p][L]
+  std::vector<Ticks> slab_;  // level-major: slab_[p * stride() + L]
 };
 
 }  // namespace nowsched::solver

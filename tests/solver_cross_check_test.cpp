@@ -35,14 +35,16 @@ INSTANTIATE_TEST_SUITE_P(Grids, CrossCheck,
                                            GridCase{5, 200, 8}, GridCase{0, 100, 8},
                                            GridCase{3, 512, 100}));
 
-TEST(CrossCheckParallel, BlockParallelMatchesSerial) {
-  // The parallel path engages when c >= 256; compare against the serial fast
-  // solver (itself validated against the oracle above).
+TEST(CrossCheckParallel, ForcedWavefrontMatchesSerial) {
+  // Force the wavefront path regardless of what plan_wavefront would decide
+  // and compare against the serial fast solver (itself validated against the
+  // oracle above).
   util::ThreadPool pool(4);
   const Params params{300};
   const Ticks max_l = 300 * 24;
   const auto serial = solve_fast(3, max_l, params, nullptr);
-  const auto parallel = solve_fast(3, max_l, params, &pool);
+  const auto parallel =
+      solve_fast(3, max_l, params, &pool, ParallelMode::kForceWavefront);
   for (int p = 0; p <= 3; ++p) {
     for (Ticks l = 0; l <= max_l; ++l) {
       ASSERT_EQ(parallel.value(p, l), serial.value(p, l)) << "p=" << p << " l=" << l;
@@ -50,15 +52,16 @@ TEST(CrossCheckParallel, BlockParallelMatchesSerial) {
   }
 }
 
-TEST(CrossCheckParallel, ForcedBlockParallelPathMatchesReferenceOracle) {
-  // Force the block-parallel branch (pool size > 1, c >= 256, max_l > 4c) and
-  // compare against the O(N²) oracle directly, not just the serial fast
-  // solver — this is the only place the parallel path meets ground truth.
+TEST(CrossCheckParallel, ForcedWavefrontMatchesReferenceOracle) {
+  // Force the wavefront path and compare against the O(N²) oracle directly,
+  // not just the serial fast solver — this is where the parallel path meets
+  // ground truth.
   util::ThreadPool pool(4);
   const Params params{256};
-  const Ticks max_l = 256 * 9;  // 9c: several parallel blocks plus a stub
+  const Ticks max_l = 256 * 9;  // 9 full blocks per level, plus pipeline slack
   const auto ref = solve_reference(3, max_l, params);
-  const auto parallel = solve_fast(3, max_l, params, &pool);
+  const auto parallel =
+      solve_fast(3, max_l, params, &pool, ParallelMode::kForceWavefront);
   for (int p = 0; p <= 3; ++p) {
     for (Ticks l = 0; l <= max_l; ++l) {
       ASSERT_EQ(parallel.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
@@ -66,14 +69,16 @@ TEST(CrossCheckParallel, ForcedBlockParallelPathMatchesReferenceOracle) {
   }
 }
 
-TEST(CrossCheckParallel, BoundaryCJustAtThresholdMatchesReference) {
-  // c exactly at the 256 threshold with max_l exactly one tick past 4c — the
-  // smallest grid that still takes the parallel branch.
-  util::ThreadPool pool(2);
-  const Params params{256};
-  const Ticks max_l = 4 * 256 + 1;
+TEST(CrossCheckParallel, ForcedWavefrontSmallCManyCellsMatchesReference) {
+  // Small c makes narrow blocks and a tall, skinny DAG (many cells, little
+  // work each) — the regime the auto mode would refuse; forcing it exercises
+  // heavy inter-cell traffic on the dependency counters.
+  util::ThreadPool pool(4);
+  const Params params{8};
+  const Ticks max_l = 500;  // 63 blocks x 2 levels
   const auto ref = solve_reference(2, max_l, params);
-  const auto parallel = solve_fast(2, max_l, params, &pool);
+  const auto parallel =
+      solve_fast(2, max_l, params, &pool, ParallelMode::kForceWavefront);
   for (int p = 0; p <= 2; ++p) {
     for (Ticks l = 0; l <= max_l; ++l) {
       ASSERT_EQ(parallel.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
@@ -81,7 +86,47 @@ TEST(CrossCheckParallel, BoundaryCJustAtThresholdMatchesReference) {
   }
 }
 
-TEST(CrossCheckParallel, SmallCFallsBackToSerialPathCorrectly) {
+TEST(CrossCheckParallel, ForcedWavefrontPartialFinalBlockMatchesReference) {
+  // max_l one tick past a block boundary: the last block of every level is a
+  // single lifespan, so the final cells are nearly empty.
+  util::ThreadPool pool(2);
+  const Params params{256};
+  const Ticks max_l = 4 * 256 + 1;
+  const auto ref = solve_reference(2, max_l, params);
+  const auto parallel =
+      solve_fast(2, max_l, params, &pool, ParallelMode::kForceWavefront);
+  for (int p = 0; p <= 2; ++p) {
+    for (Ticks l = 0; l <= max_l; ++l) {
+      ASSERT_EQ(parallel.value(p, l), ref.value(p, l)) << "p=" << p << " l=" << l;
+    }
+  }
+}
+
+TEST(CrossCheckParallel, SingleThreadWavefrontIsDeterministicallySequential) {
+  // ThreadPool(1): run_dag runs the cells inline in a fixed topological
+  // order, so the forced wavefront must reproduce the sequential solve
+  // bit-for-bit, twice in a row.
+  util::ThreadPool pool(1);
+  const Params params{32};
+  const Ticks max_l = 32 * 20;
+  const auto sequential =
+      solve_fast(3, max_l, params, nullptr, ParallelMode::kForceSequential);
+  for (int round = 0; round < 2; ++round) {
+    const auto wavefront =
+        solve_fast(3, max_l, params, &pool, ParallelMode::kForceWavefront);
+    for (int p = 0; p <= 3; ++p) {
+      for (Ticks l = 0; l <= max_l; ++l) {
+        ASSERT_EQ(wavefront.value(p, l), sequential.value(p, l))
+            << "round=" << round << " p=" << p << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(CrossCheckParallel, AutoModeWithPoolMatchesReference) {
+  // Whatever plan_wavefront decides on this machine, auto mode must be
+  // exact. (On a 1-core host the plan declines and this runs sequentially —
+  // still the right answer.)
   util::ThreadPool pool(4);
   const Params params{8};
   const auto with_pool = solve_fast(2, 500, params, &pool);
@@ -89,6 +134,18 @@ TEST(CrossCheckParallel, SmallCFallsBackToSerialPathCorrectly) {
   for (Ticks l = 0; l <= 500; ++l) {
     ASSERT_EQ(with_pool.value(2, l), ref.value(2, l));
   }
+}
+
+TEST(CrossCheckParallel, PlanWavefrontDeclinesDegenerateGrids) {
+  util::ThreadPool pool(4);
+  // Single level: DAG width 1, parallelism impossible.
+  EXPECT_FALSE(plan_wavefront(1, 1 << 14, Params{256}, &pool).engage);
+  // No pool.
+  EXPECT_FALSE(plan_wavefront(3, 1 << 14, Params{256}, nullptr).engage);
+  // Two blocks cannot fill a pipeline.
+  EXPECT_FALSE(plan_wavefront(3, 512, Params{256}, &pool).engage);
+  // Reasons are always set.
+  EXPECT_STRNE(plan_wavefront(3, 1 << 14, Params{256}, &pool).reason, "");
 }
 
 TEST(FastSolver, LargeGridSelfConsistency) {
