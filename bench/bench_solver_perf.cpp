@@ -52,7 +52,13 @@ void run(harness::Context& ctx) {
     const auto ref_fit = util::fit_linear(log_n, log_ref);
     const auto fast_fit = util::fit_linear(log_n, log_fast);
     ctx.metric("reference_scaling_exponent", ref_fit.slope);
-    ctx.metric("fast_scaling_exponent", fast_fit.slope);
+    // Full tier only: the quick grid gives the fast solver two sub-0.1 ms
+    // points, and a log-log slope fitted through that much noise flips sign
+    // run to run — it would flap the strict same-tier CI gate. (The
+    // reference fit stays: its points are ms-scale even at quick tier.)
+    if (!ctx.quick()) {
+      ctx.metric("fast_scaling_exponent", fast_fit.slope);
+    }
     ctx.text("empirical scaling exponents (log-log slope): reference " +
              util::Table::fmt(ref_fit.slope, 3) + " (theory 2), fast " +
              util::Table::fmt(fast_fit.slope, 3) + " (theory ~1)");
@@ -108,7 +114,13 @@ void run(harness::Context& ctx) {
     // losing configuration.
     util::ThreadPool pool4(4);
     const auto plan = solver::plan_wavefront(3, n, big_c, &pool4);
-    ctx.metric("wavefront_engaged_auto", plan.engage ? 1.0 : 0.0);
+    // Full tier only: whether auto mode engages is a property of the host's
+    // core count (0 on 1-core, typically 1 on multicore), so comparing it
+    // across machines in the strict same-tier quick gate would fail on
+    // hardware class, not on regressions.
+    if (!ctx.quick()) {
+      ctx.metric("wavefront_engaged_auto", plan.engage ? 1.0 : 0.0);
+    }
     ctx.metric("wavefront_width", static_cast<double>(plan.width));
     ctx.text("auto engagement plan on this grid: " + std::string(plan.reason) +
              " (DAG width " + util::Table::fmt(static_cast<long long>(plan.width)) +
@@ -150,7 +162,12 @@ void run(harness::Context& ctx) {
                    util::Table::fmt(seq_ms, 5), util::Table::fmt(wf_ms, 5),
                    util::Table::fmt(speedup, 3)});
     }
-    ctx.metric("wavefront_crossover_c", static_cast<double>(crossover));
+    // Full tier only: near parity (1-core hosts) the >1.0 test is a coin
+    // flip, and a flapping metric would make the strict same-tier CI gate
+    // fail on noise. The nightly full-tier comparison still tracks it.
+    if (!ctx.quick()) {
+      ctx.metric("wavefront_crossover_c", static_cast<double>(crossover));
+    }
     ctx.table(out, "sequential vs forced 4-thread wavefront, max_p = 3, N = " +
                        std::to_string(n));
     ctx.text(crossover > 0

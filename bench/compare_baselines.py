@@ -11,14 +11,25 @@ candidate directory for the matching record and compares:
   * ok          — a candidate that crashed is always an error (even warn-only);
   * wall_ms     — flagged when candidate/baseline falls outside
                   [1/tolerance, tolerance]. Wall clocks are only compared when
-                  the two records ran the same tier (CI runs --tier=quick
-                  against committed full-tier baselines: incomparable, so the
-                  script falls back to shape checks);
+                  the two records ran the same tier. Runs where either side
+                  is under --min-wall-ms (default 5 ms) are exempt from the
+                  ratio (sub-millisecond timings are dominated by cold-start
+                  and scheduler noise), but the exemption is capped both
+                  ways: a candidate above min-wall-ms x tolerance^2 (180 ms
+                  at the defaults) is a blowup, and a candidate under the
+                  floor against a baseline above min-wall-ms x tolerance
+                  (30 ms at the defaults) is a collapse — neither can hide
+                  under the floor;
   * metrics     — same keys must exist; values must be finite; same-tier
-                  values are ratio-checked like wall_ms. When either side is
-                  0 no ratio is defined, so any change from/to zero warns
-                  with its own message (e.g. `wavefront_crossover_c`
-                  becoming measurable on a multicore host).
+                  values are ratio-checked like wall_ms, with two exemptions:
+                  keys ending in `_ms` get the same --min-wall-ms noise floor
+                  (capped the same way), and keys ending in `_per_sec` are
+                  never ratio-checked — absolute throughput is a property of
+                  the machine, and the regressions it would catch are already
+                  gated through the record's wall_ms. When either side is 0
+                  no ratio is defined, so any change from/to zero warns with
+                  its own message (e.g. `wavefront_crossover_c` becoming
+                  measurable on a multicore host).
 
 Default mode is warn-only (exit 0 with warnings printed) so the CI gate can
 run before run-to-run variance data has accumulated; --strict turns warnings
@@ -69,6 +80,9 @@ def main() -> int:
                         help="directory with committed baselines")
     parser.add_argument("--tolerance", default=4.0, type=float,
                         help="allowed wall_ms / metric ratio either way")
+    parser.add_argument("--min-wall-ms", default=5.0, type=float,
+                        help="skip the wall_ms ratio check when either side "
+                             "is below this (too noisy to gate on)")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings, not just errors")
     args = parser.parse_args()
@@ -96,13 +110,38 @@ def main() -> int:
             continue
 
         same_tier = cand.get("tier") == base.get("tier")
-        if same_tier:
-            why = compare_values(cand.get("wall_ms", 0.0), base.get("wall_ms", 0.0),
-                                 args.tolerance)
-            if why:
+        skip_ceiling = args.min_wall_ms * args.tolerance * args.tolerance
+
+        def check_timing(label, cand_ms, base_ms):
+            if cand_ms >= args.min_wall_ms and base_ms >= args.min_wall_ms:
+                why = compare_values(cand_ms, base_ms, args.tolerance)
+                if why:
+                    warnings.append(f"{name}: {label} {cand_ms:.1f} vs baseline "
+                                    f"{base_ms:.1f} ({why})")
+            elif cand_ms > skip_ceiling:
+                # Either side under the noise floor exempts the ratio, but a
+                # candidate this far above it is a real blowup, not noise.
                 warnings.append(
-                    f"{name}: wall_ms {cand.get('wall_ms', 0.0):.1f} vs baseline "
-                    f"{base.get('wall_ms', 0.0):.1f} ({why})")
+                    f"{name}: {label} {cand_ms:.1f} vs baseline {base_ms:.1f} "
+                    f"(baseline under the {args.min_wall_ms:g} ms noise floor, "
+                    f"candidate above the {skip_ceiling:g} ms blowup ceiling)")
+            elif base_ms > args.min_wall_ms * args.tolerance:
+                # Collapse check: a candidate under the floor against a
+                # comfortably-above-floor baseline means the measured work
+                # vanished (skipped sweep, misparsed grid) — too fast to be
+                # true. This ceiling is one tolerance above the floor, not
+                # tolerance^2 like the blowup side: cold-start can inflate a
+                # tiny run, but nothing legitimately deflates a real one.
+                warnings.append(
+                    f"{name}: {label} {cand_ms:.1f} vs baseline {base_ms:.1f} "
+                    f"(candidate under the {args.min_wall_ms:g} ms noise floor "
+                    f"while the baseline is above "
+                    f"{args.min_wall_ms * args.tolerance:g} ms — measured work "
+                    f"collapsed)")
+
+        if same_tier:
+            check_timing("wall_ms", cand.get("wall_ms", 0.0),
+                         base.get("wall_ms", 0.0))
         else:
             warnings.append(
                 f"{name}: tier mismatch (candidate {cand.get('tier')!r} vs "
@@ -119,6 +158,12 @@ def main() -> int:
                 errors.append(f"{name}: metric {key!r} is not finite: {value!r}")
                 continue
             if same_tier:
+                if key.endswith("_per_sec"):
+                    continue  # machine-absolute throughput; wall_ms gates it
+                if key.endswith("_ms"):
+                    check_timing(f"metric {key!r}", float(value),
+                                 float(base_metrics[key]))
+                    continue
                 why = compare_values(float(value), float(base_metrics[key]),
                                      args.tolerance)
                 if why:

@@ -17,6 +17,7 @@ const harness::Experiment& experiment_checkpoint();
 const harness::Experiment& experiment_solver_perf();
 const harness::Experiment& experiment_sim_perf();
 const harness::Experiment& experiment_farm_scaling();
+const harness::Experiment& experiment_batch_scaling();
 
 }  // namespace nowsched::bench
 
@@ -37,6 +38,7 @@ void register_all_experiments() {
     registry.add(experiment_solver_perf());         // E10
     registry.add(experiment_sim_perf());            // E11
     registry.add(experiment_farm_scaling());        // E12
+    registry.add(experiment_batch_scaling());       // E13
     return true;
   }();
   (void)registered;

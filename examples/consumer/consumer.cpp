@@ -1,0 +1,18 @@
+// The 10-line find_package(nowsched) smoke consumer: solve a small game,
+// run a tiny batch, print one number from each. Exit 0 == the installed
+// package links and works.
+#include <iostream>
+
+#include "nowsched.h"
+
+int main() {
+  using namespace nowsched;
+  const auto table = solver::solve_shared({2, 1024, Params{16}});
+  sim::BatchRunner runner;
+  const auto result = runner.run({{sim::PolicyKind::kDpOptimal,
+                                   sim::OwnerKind::kPoisson, 500.0, 1.5, Params{16},
+                                   1024, 2, 42}});
+  std::cout << "W(2)[1024] = " << table->value(2, 1024) << ", batch banked "
+            << result.aggregate.banked_work << "\n";
+  return result.aggregate.banked_work > 0 ? 0 : 1;
+}

@@ -26,6 +26,7 @@
 
 #include "solver/extract.h"
 #include "solver/fast_solver.h"
+#include "solver/solve_cache.h"
 #include "solver/nonadaptive_eval.h"
 #include "solver/nonadaptive_opt.h"
 #include "solver/policy_eval.h"
@@ -37,6 +38,7 @@
 #include "adversary/stochastic.h"
 #include "adversary/trace.h"
 
+#include "sim/batch_runner.h"
 #include "sim/checkpoint.h"
 #include "sim/event.h"
 #include "sim/farm.h"
@@ -46,7 +48,9 @@
 
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/hash.h"
 #include "util/rng.h"
+#include "util/striped_lock.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"

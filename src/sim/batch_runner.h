@@ -1,0 +1,117 @@
+// Batched many-session simulation: thousands of heterogeneous cycle-stealing
+// sessions, executed in parallel, with the underlying W(p)[L] solves
+// deduplicated through solver::SolveCache.
+//
+// Where sim::run_farm interleaves a handful of workstations on ONE shared
+// clock (they drain a common task bag), BatchRunner is the throughput layer
+// above it: every ScenarioSpec is an independent session (own Simulator, own
+// adversary stream), so a batch is embarrassingly parallel — the only shared
+// state is the solve cache, which is exactly the state worth sharing because
+// dp-optimal scenarios with equal canonical solver inputs (see
+// solver/solve_cache.h) re-use one table instead of re-solving per session.
+//
+// Determinism contract: run() fills per_scenario[i] from spec i alone — the
+// adversary stream is derived from spec.seed via util::hash_combine (no
+// global RNG, no time, no thread identity) and the aggregate is merged in
+// index order after the parallel region. Results are therefore bit-identical
+// across thread counts, submission orders, and cache on/off (the cache only
+// changes WHO solves a table, never its contents). Verified by
+// tests/sim_batch_determinism_test.cpp at 1/2/8 threads.
+//
+// Threading contract: run() drives options.pool through one blocking
+// parallel_for, so call it from a thread that is not itself a pool worker
+// (the ThreadPool contract). Solves triggered inside the batch always run
+// sequentially — run_dag is not reentrant from a worker — which is the right
+// trade anyway: the batch already saturates the pool with sessions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/metrics.h"
+#include "solver/solve_cache.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::sim {
+
+/// Which scheduling policy a scenario runs. kDpOptimal is the one that
+/// needs a W(p)[L] solve (and therefore exercises the cache); the guideline
+/// policies are closed-form.
+enum class PolicyKind {
+  kEqualized,          ///< core/equalized.h (paper §4.2, Thm 4.3)
+  kAdaptivePaper,      ///< core/guidelines.h §3.2 printed constants
+  kNonAdaptiveRestart, ///< core/guidelines.h §3.1 re-applied per episode
+  kDpOptimal,          ///< solver::OptimalPolicy over a (cached) value table
+};
+
+/// Which stochastic owner model interrupts the session (adversary/stochastic.h).
+enum class OwnerKind {
+  kPoisson,  ///< mean inter-arrival owner_a ticks
+  kPareto,   ///< scale owner_a, shape owner_b
+  kUniform,  ///< per-episode interrupt probability owner_a
+};
+
+const char* to_string(PolicyKind kind);
+const char* to_string(OwnerKind kind);
+
+/// One session of the batch: policy kind, owner (lifetime) distribution,
+/// contract (c, U, p), and the seed its private RNG stream derives from.
+struct ScenarioSpec {
+  PolicyKind policy = PolicyKind::kEqualized;
+  OwnerKind owner = OwnerKind::kPoisson;
+  double owner_a = 3000.0;  ///< Poisson mean gap / Pareto scale / uniform prob
+  double owner_b = 1.5;     ///< Pareto shape (ignored by the other owners)
+  Params params;            ///< setup cost c
+  Ticks lifespan = 0;       ///< contract lifespan U
+  int max_interrupts = 0;   ///< contract interrupt bound p
+  std::uint64_t seed = 0;   ///< root of this scenario's private RNG stream
+};
+
+struct BatchOptions {
+  /// Pool the sessions fan out on; nullptr runs the batch on the calling
+  /// thread (still through the same code path, so results are identical).
+  util::ThreadPool* pool = nullptr;
+  /// When false every dp-optimal scenario re-solves its own table — the
+  /// "naive per-session re-solving" baseline E13 measures against.
+  bool cache_enabled = true;
+  solver::SolveCache::Options cache;
+};
+
+struct BatchResult {
+  /// per_scenario[i] is the metrics of specs[i] — index-aligned, never
+  /// reordered by scheduling.
+  std::vector<SessionMetrics> per_scenario;
+  /// All sessions merged in index order.
+  SessionMetrics aggregate;
+  /// Solve-cache counters for this runner (lifetime, so across run() calls).
+  solver::SolveCacheStats cache;
+  std::size_t scenarios = 0;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Runs every scenario to completion and aggregates. Specs are validated
+  /// up front (invalid ones throw std::invalid_argument naming the index —
+  /// no session starts). The runner's cache persists across calls, so a
+  /// second run() over similar specs starts warm.
+  BatchResult run(const std::vector<ScenarioSpec>& specs);
+
+  const solver::SolveCache& cache() const noexcept { return cache_; }
+
+ private:
+  SessionMetrics run_one(const ScenarioSpec& spec);
+
+  BatchOptions options_;
+  solver::SolveCache cache_;
+};
+
+/// Derives the deterministic adversary seed of `spec` (exposed so tests can
+/// reproduce a batch entry with sim::run_session directly).
+std::uint64_t scenario_stream_seed(const ScenarioSpec& spec);
+
+}  // namespace nowsched::sim

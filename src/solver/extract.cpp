@@ -1,28 +1,111 @@
 #include "solver/extract.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace nowsched::solver {
 
 namespace {
 
-/// Longest t in [1, l] attaining V_p(l) = min((t ⊖ c) + V_p(l−t), V_{p−1}(l−t)).
-Ticks best_period_length(const ValueTable& table, int p, Ticks l) {
-  const Ticks c = table.params().c;
-  const auto cur = table.level(p);
-  const auto prev = table.level(p - 1);
-  const Ticks target = cur[static_cast<std::size_t>(l)];
+/// Shared by both period finders: the two branches of the DP minimum at
+/// period length t from state (p, l). `cur`/`prev` are levels p and p−1.
+struct Branches {
+  std::span<const Ticks> cur, prev;
+  Ticks l, c;
+
+  /// A(t) = (t ⊖ c) + V_p(l−t): non-increasing on [1, c] (pure table read),
+  /// non-decreasing on [c, l] (V_p is 1-Lipschitz).
+  Ticks a(Ticks t) const {
+    return positive_sub(t, c) + cur[static_cast<std::size_t>(l - t)];
+  }
+  /// B(t) = V_{p−1}(l−t): non-increasing on all of [1, l].
+  Ticks b(Ticks t) const { return prev[static_cast<std::size_t>(l - t)]; }
+  Ticks min_ab(Ticks t) const { return std::min(a(t), b(t)); }
+};
+
+/// Largest t in [lo, hi] with f.b(t) >= target (f.b is non-increasing), or
+/// 0 when even f.b(lo) < target.
+Ticks last_b_at_least(const Branches& f, Ticks lo, Ticks hi, Ticks target) {
+  if (f.b(lo) < target) return 0;
+  while (lo < hi) {
+    const Ticks mid = lo + (hi - lo + 1) / 2;
+    if (f.b(mid) >= target) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo;
+}
+
+/// Largest t in [1, hi] with min(A, B) >= target on the prefix region
+/// t <= c, where BOTH branches are non-increasing in t, or 0 when none.
+Ticks last_prefix_attaining(const Branches& f, Ticks hi, Ticks target) {
+  if (f.min_ab(1) < target) return 0;
+  Ticks lo = 1;
+  while (lo < hi) {
+    const Ticks mid = lo + (hi - lo + 1) / 2;
+    if (f.min_ab(mid) >= target) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo;
+}
+
+}  // namespace
+
+Ticks best_period_length_linear(const ValueTable& table, int p, Ticks l) {
+  const Branches f{table.level(p), table.level(p - 1), l, table.params().c};
+  const Ticks target = table.value(p, l);
   Ticks best_t = 1;
   for (Ticks t = 1; t <= l; ++t) {
-    const auto rest = static_cast<std::size_t>(l - t);
-    const Ticks v = std::min(positive_sub(t, c) + cur[rest], prev[rest]);
-    if (v >= target) best_t = t;  // v never exceeds target; >= catches ties
+    if (f.min_ab(t) >= target) best_t = t;  // never exceeds target; >= is a tie
   }
   return best_t;
 }
 
-}  // namespace
+Ticks best_period_length(const ValueTable& table, int p, Ticks l) {
+  const Branches f{table.level(p), table.level(p - 1), l, table.params().c};
+  const Ticks c = f.c;
+  // V is attained by some t in [1, l]: the recurrence IS max over that range.
+  const Ticks target = table.value(p, l);
+
+  // Suffix region t in [c, l]: A non-decreasing, B non-increasing — the
+  // crossover structure. Any attaining t here is >= c, hence longer than
+  // every prefix (t < c) candidate, so search it first.
+  if (l > c) {
+    Ticks lo = c, hi = l;
+    if (f.a(lo) >= f.b(lo)) {
+      // min == B on the whole suffix; B is non-increasing, so the longest
+      // attaining t is the last one with B == target (if B starts there).
+      const Ticks t = last_b_at_least(f, lo, hi, target);
+      if (t != 0 && f.b(t) == target) return t;
+    } else if (f.a(hi) < f.b(hi)) {
+      // min == A on the whole suffix, maximized (non-decreasing) at t = l.
+      if (f.a(hi) == target) return hi;
+    } else {
+      // Proper crossover: lo becomes the last t with A < B, hi = lo + 1.
+      while (lo + 1 < hi) {
+        const Ticks mid = lo + (hi - lo) / 2;
+        if (f.a(mid) < f.b(mid)) lo = mid;
+        else hi = mid;
+      }
+      // Past the crossover min == B: the longest attaining t overall.
+      const Ticks t = last_b_at_least(f, hi, l, target);
+      if (t != 0 && f.b(t) == target) return t;
+      // Before it min == A, non-decreasing: its plateau of maxima ends at lo.
+      if (f.a(lo) == target) return lo;
+    }
+  }
+
+  // Prefix region t in [1, min(c, l)]: t ⊖ c == 0, so A == V_p(l−t) and both
+  // branches are non-increasing — one monotone search finds the longest
+  // attaining t. Reached only when no suffix t attains (e.g. the carry case
+  // V_p(l) == V_p(l−1), attained at t = 1 because V_{p−1} >= V_p pointwise).
+  const Ticks t = last_prefix_attaining(f, std::min(c, l), target);
+  if (t == 0) {
+    throw std::logic_error(
+        "best_period_length: no attaining period — value table is inconsistent");
+  }
+  return t;
+}
 
 EpisodeSchedule extract_episode(const ValueTable& table, int p, Ticks lifespan) {
   if (lifespan < 0 || lifespan > table.max_lifespan()) {

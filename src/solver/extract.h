@@ -14,7 +14,22 @@ namespace nowsched::solver {
 /// period length attaining V_p and follow the no-interrupt branch until the
 /// lifespan is exhausted. Ties prefer the longest period (this matches the
 /// paper's decreasing-period shape and avoids degenerate 1-tick chains).
+///
+/// Cost: O(m log L) — each period is found by binary search on the same
+/// monotone A/B crossover structure the fast solver uses (A(t) non-
+/// decreasing past c, B(t) non-increasing), so extraction is cheap enough
+/// to run per episode inside batched simulations. best_period_length_linear
+/// is the O(L) scan it replaced, kept as the oracle for the equivalence
+/// test (tests/solver_extract_test.cpp): both pick the identical (longest)
+/// attaining period on every state.
 EpisodeSchedule extract_episode(const ValueTable& table, int p, Ticks lifespan);
+
+/// Longest t in [1, L] attaining V_p(L), by O(log L) crossover search.
+/// Requires 1 <= p <= table.max_interrupts() and 1 <= L <= max_lifespan.
+Ticks best_period_length(const ValueTable& table, int p, Ticks lifespan);
+
+/// The O(L) reference scan for best_period_length (bit-identical choice).
+Ticks best_period_length_linear(const ValueTable& table, int p, Ticks lifespan);
 
 /// Thm 4.3 predicts, for the early ("non-immune") periods,
 ///   t_k = c + W(p−1)[U − T_k] − W(p−1)[U − T_{k+1}]        (1-based k),

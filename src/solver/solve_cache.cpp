@@ -1,0 +1,125 @@
+#include "solver/solve_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "solver/fast_solver.h"
+
+namespace nowsched::solver {
+
+SolveKey canonical_key(const SolveRequest& req) {
+  require_valid(req.params);
+  SolveKey key;
+  key.max_p = std::max(req.max_p, 0);
+  key.c = req.params.c;
+  const Ticks l = std::max<Ticks>(req.max_lifespan, 0);
+  key.max_lifespan = ((l + key.c - 1) / key.c) * key.c;
+  return key;
+}
+
+std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
+                                               util::ThreadPool* pool) {
+  const SolveKey key = canonical_key(req);
+  return std::make_shared<const ValueTable>(
+      solve_fast(key.max_p, key.max_lifespan, Params{key.c}, pool));
+}
+
+SolveCache::SolveCache() : SolveCache(Options()) {}
+
+SolveCache::SolveCache(Options options)
+    : stripes_(options.shards), shards_(stripes_.stripes()) {
+  const std::size_t per_shard =
+      (std::max<std::size_t>(options.max_entries, 1) + shards_.size() - 1) /
+      shards_.size();
+  per_shard_capacity_ = std::max<std::size_t>(per_shard, 1);
+}
+
+std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& req,
+                                                           util::ThreadPool* pool) {
+  const SolveKey key = canonical_key(req);
+  const std::uint64_t hash = key.hash();
+  const std::size_t index = stripes_.index_for(hash);
+  Shard& shard = shards_[index];
+
+  std::promise<TablePtr> promise;
+  Future future;
+  bool owner = false;
+  {
+    auto guard = stripes_.lock(hash);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.last_used = ++shard.clock;
+      future = it->second.future;  // copy out, then wait outside the lock
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      future = promise.get_future().share();
+      shard.map.emplace(key, Entry{future, ++shard.clock});
+      evict_excess_locked(shard);
+      owner = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (owner) {
+    // Solve outside the stripe lock: other keys on this shard stay
+    // resolvable, and waiters on THIS key block on the future instead.
+    try {
+      promise.set_value(solve_shared(req, pool));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      auto guard = stripes_.lock(hash);
+      auto it = shard.map.find(key);
+      // Erase the entry only if it is a *failed* one (ours, or another
+      // failed attempt) — a concurrent clear()+re-solve may already have
+      // replaced it with a healthy or still-running entry to keep.
+      if (it != shard.map.end() &&
+          it->second.future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        try {
+          (void)it->second.future.get();
+        } catch (...) {
+          shard.map.erase(it);
+        }
+      }
+      throw;
+    }
+  }
+  return future.get();  // rethrows the owner's exception for waiters
+}
+
+void SolveCache::evict_excess_locked(Shard& shard) {
+  // Called with the newly inserted entry holding the freshest clock value,
+  // so the LRU minimum can never be the entry we just inserted. Evicting an
+  // in-flight entry is safe: waiters hold their own shared_future copies.
+  while (shard.map.size() > per_shard_capacity_) {
+    auto victim = shard.map.begin();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SolveCacheStats SolveCache::stats() const {
+  SolveCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock<std::mutex> guard(stripes_.stripe(i));
+    s.entries += shards_[i].map.size();
+  }
+  return s;
+}
+
+void SolveCache::clear() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock<std::mutex> guard(stripes_.stripe(i));
+    shards_[i].map.clear();
+  }
+}
+
+}  // namespace nowsched::solver

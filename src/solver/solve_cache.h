@@ -1,0 +1,161 @@
+// Sharded memoization of solve_fast results, and the shared_ptr-returning
+// solve entry point the cache (and sim::BatchRunner) is built on.
+//
+// A W(p)[L] table is expensive to compute and cheap to share: it is
+// immutable after solve_fast returns, and solver::OptimalPolicy already
+// holds its table through a shared_ptr. The cache exploits both facts —
+// requests are canonicalized to a SolveKey, hashed onto one of S shards
+// (util::StripedMutex stripe i guards shard i's map), and resolved to a
+// std::shared_future of the finished table so that concurrent requests for
+// one key perform exactly ONE solve: the first thread computes outside the
+// lock while later threads block on the future, not the stripe mutex.
+//
+// Canonicalization (canonical_key) rounds max_lifespan up to the next
+// multiple of c. This is semantically transparent — every W(p)[L] entry of
+// the smaller table appears bit-identically in the larger one (the DP
+// recurrence for (p, L) reads only states with smaller L), and
+// extract_episode / OptimalPolicy read only entries the original request
+// covers — but it folds near-identical scenario populations onto one table.
+// solve_shared applies the same canonicalization whether or not a cache
+// sits in front of it, so cached and uncached runs see identical tables.
+//
+// Eviction is per-shard LRU with a fixed entry capacity; hit/miss/evict
+// counters are lifetime totals (monotone, never reset by eviction) exposed
+// through stats() for benches and the E13 hit-rate report.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/value_table.h"
+#include "util/hash.h"
+#include "util/striped_lock.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::solver {
+
+/// What a caller wants solved, in caller terms (pre-canonicalization).
+struct SolveRequest {
+  int max_p = 0;
+  Ticks max_lifespan = 0;
+  Params params;
+};
+
+/// The canonical identity of a solve: two requests with equal SolveKeys are
+/// served by one table. Produced by canonical_key; compared field-wise.
+struct SolveKey {
+  int max_p = 0;
+  Ticks max_lifespan = 0;
+  Ticks c = 1;
+
+  bool operator==(const SolveKey&) const = default;
+
+  /// Platform-stable hash (util::hash_combine, not std::hash) so shard
+  /// assignment is identical across standard libraries.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = util::hash_combine(0, static_cast<std::uint64_t>(max_p));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(max_lifespan));
+    return util::hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+};
+
+/// Canonicalizes a request: clamps max_p / max_lifespan below at 0 and
+/// rounds max_lifespan up to the next multiple of c (see header comment for
+/// why that is transparent to every reader of the table). Throws
+/// std::invalid_argument when params are invalid, like the solvers do.
+SolveKey canonical_key(const SolveRequest& req);
+
+/// Solves the canonical form of `req` and returns the immutable table by
+/// shared_ptr — the entry point OptimalPolicy plugs into directly. No
+/// caching; SolveCache calls this on a miss. `pool` is forwarded to
+/// solve_fast (pass nullptr from inside pool tasks — run_dag is not
+/// reentrant).
+std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
+                                               util::ThreadPool* pool = nullptr);
+
+/// Lifetime counters. hits + misses == completed get_or_solve calls;
+/// entries/evictions describe the resident set.
+struct SolveCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class SolveCache {
+ public:
+  struct Options {
+    /// Stripe/shard count; rounded up to a power of two.
+    std::size_t shards = 8;
+    /// Total resident tables across all shards (split evenly; min 1 each).
+    std::size_t max_entries = 64;
+  };
+
+  SolveCache();  // default Options
+  explicit SolveCache(Options options);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Returns the table for canonical_key(req), solving it at most once per
+  /// residency no matter how many threads ask concurrently. A solve that
+  /// throws is not cached: the exception propagates to every waiter of that
+  /// attempt and the key is cleared so a later call retries.
+  ///
+  /// Safe to call from many threads, including ThreadPool workers — but
+  /// then pass pool == nullptr (see solve_shared).
+  std::shared_ptr<const ValueTable> get_or_solve(const SolveRequest& req,
+                                                 util::ThreadPool* pool = nullptr);
+
+  /// Point-in-time totals (counters are exact; `entries` sums shard sizes
+  /// without a global lock, so it is approximate under concurrent writes).
+  SolveCacheStats stats() const;
+
+  /// Drops every resident table (in-flight solves complete and are dropped
+  /// on arrival). Counters are NOT reset — they are lifetime totals.
+  void clear();
+
+  std::size_t shard_count() const noexcept { return stripes_.stripes(); }
+
+ private:
+  using TablePtr = std::shared_ptr<const ValueTable>;
+  using Future = std::shared_future<TablePtr>;
+
+  struct KeyHash {
+    std::size_t operator()(const SolveKey& key) const noexcept {
+      return static_cast<std::size_t>(key.hash());
+    }
+  };
+
+  struct Entry {
+    Future future;
+    std::uint64_t last_used = 0;  ///< shard-local LRU clock value
+  };
+
+  struct Shard {
+    std::unordered_map<SolveKey, Entry, KeyHash> map;
+    std::uint64_t clock = 0;  ///< monotone per-shard use counter
+  };
+
+  void evict_excess_locked(Shard& shard);
+
+  // mutable: stats() is logically const but must lock shard stripes.
+  mutable util::StripedMutex stripes_;
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace nowsched::solver

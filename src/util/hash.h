@@ -1,0 +1,35 @@
+// Deterministic 64-bit hashing for cache keys and stream derivation.
+//
+// std::hash's exact output is implementation-defined, which would make
+// anything keyed on it (shard assignment, derived RNG seeds) differ across
+// standard libraries — the same trap rng.h avoids with std::mt19937. These
+// mixers are fixed published constants (SplitMix64's finalizer, the same
+// function Rng::next applies), so shard layouts and per-scenario seed
+// derivations are identical on every platform.
+#pragma once
+
+#include <cstdint>
+
+namespace nowsched::util {
+
+/// SplitMix64 finalizer (Stafford's Mix13 variant): a bijective avalanche
+/// mix of a 64-bit value. hash_mix(x) == 0 only for one specific x, so
+/// zero-valued fields do not collapse combined hashes.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Folds `value` into `seed`. Order-sensitive: combine(combine(s, a), b)
+/// differs from combine(combine(s, b), a), so field order in a key is part
+/// of the key. The golden-ratio offset keeps combine(0, 0) != 0.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return hash_mix(seed + 0x9E3779B97F4A7C15ull + value);
+}
+
+}  // namespace nowsched::util

@@ -4,13 +4,14 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/hash.h"
+
 namespace nowsched::util {
 
 std::uint64_t Rng::next() noexcept {
-  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  // Canonical SplitMix64: golden-ratio counter through the shared finalizer
+  // (util/hash.h owns the mixer constants; one definition, one stream).
+  return hash_mix(state_ += 0x9E3779B97F4A7C15ull);
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {

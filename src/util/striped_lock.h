@@ -1,0 +1,55 @@
+// Mutex striping: spread lock contention over a fixed array of mutexes.
+//
+// A StripedMutex owns S mutexes (S rounded up to a power of two so stripe
+// selection is a mask, and the same hash always lands on the same stripe).
+// Callers hash their key, lock the stripe the hash selects, and touch only
+// state belonging to that stripe. This is the concurrency skeleton of
+// solver::SolveCache: stripe i guards shard i's map, so threads resolving
+// different keys proceed in parallel and threads racing on one key serialize
+// on exactly one mutex.
+//
+// Locking two stripes at once is not supported by this interface (a single
+// lock() call locks exactly one) — which is precisely what makes it
+// deadlock-free by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace nowsched::util {
+
+class StripedMutex {
+ public:
+  /// `stripes` is rounded up to the next power of two; 0 selects 1.
+  explicit StripedMutex(std::size_t stripes)
+      : count_(round_up_pow2(stripes)),
+        mutexes_(std::make_unique<std::mutex[]>(count_)) {}
+
+  std::size_t stripes() const noexcept { return count_; }
+
+  /// Which stripe a hash selects; stable for the lifetime of the object.
+  std::size_t index_for(std::uint64_t hash) const noexcept {
+    return static_cast<std::size_t>(hash) & (count_ - 1);
+  }
+
+  std::mutex& stripe(std::size_t index) noexcept { return mutexes_[index]; }
+
+  /// Locks the stripe `hash` selects; the guard releases on destruction.
+  [[nodiscard]] std::unique_lock<std::mutex> lock(std::uint64_t hash) {
+    return std::unique_lock<std::mutex>(mutexes_[index_for(hash)]);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n && p < (std::size_t{1} << 20)) p <<= 1;
+    return p;
+  }
+
+  std::size_t count_;
+  std::unique_ptr<std::mutex[]> mutexes_;
+};
+
+}  // namespace nowsched::util

@@ -106,10 +106,10 @@ class CompletionLatch {
 
 void ThreadPool::parallel_for_chunks(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn, std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t min_chunk = 64;
+  const std::size_t min_chunk = std::max<std::size_t>(grain, 1);
   if (size() <= 1 || n < 2 * min_chunk) {
     fn(begin, end);
     return;
@@ -144,10 +144,14 @@ void ThreadPool::parallel_for_chunks(
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) fn(i);
-  });
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
 }
 
 namespace {

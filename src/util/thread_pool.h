@@ -76,14 +76,25 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end), split into ~4x-oversubscribed chunks,
   /// blocking until all complete. Exceptions from fn propagate (first one
-  /// wins). Serial fallback when the range is small or the pool has 1 thread.
+  /// wins). Serial fallback when the range is smaller than two grains or
+  /// the pool has 1 thread.
+  ///
+  /// `grain` is the minimum indices per dispatched chunk — the knob that
+  /// matches dispatch overhead to body weight. The default (64) suits
+  /// cheap table-index bodies like the DP loops; pass 1 for heavy bodies
+  /// (e.g. BatchRunner's whole-session tasks, ms-scale each), where a
+  /// 64-wide grain would leave small ranges entirely serial and large ones
+  /// load-imbalanced.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 64);
 
   /// Run fn(chunk_begin, chunk_end) over contiguous chunks; lower dispatch
-  /// overhead for very cheap per-index bodies.
+  /// overhead for very cheap per-index bodies. Same `grain` semantics as
+  /// parallel_for.
   void parallel_for_chunks(std::size_t begin, std::size_t end,
-                           const std::function<void(std::size_t, std::size_t)>& fn);
+                           const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::size_t grain = 64);
 
   /// Execute every task in `graph` respecting its edges, blocking until all
   /// have finished. Tasks with no unfinished predecessors run concurrently;

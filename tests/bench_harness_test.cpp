@@ -38,10 +38,10 @@ std::string fresh_outdir(const std::string& name) {
   return dir;
 }
 
-TEST(Registry, KnowsAllTwelveExperimentsInOrder) {
+TEST(Registry, KnowsAllThirteenExperimentsInOrder) {
   register_all_experiments();
   const auto& registry = Registry::instance();
-  ASSERT_EQ(registry.size(), 12u);
+  ASSERT_EQ(registry.size(), 13u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const Experiment& e = registry.experiments()[i];
     EXPECT_EQ(e.id, "E" + std::to_string(i + 1));
@@ -53,7 +53,7 @@ TEST(Registry, KnowsAllTwelveExperimentsInOrder) {
   // Lookup works by id and by slug, and misses return nullptr.
   EXPECT_NE(registry.find("E5"), nullptr);
   EXPECT_EQ(registry.find("E5"), registry.find("adaptive_vs_optimal"));
-  EXPECT_EQ(registry.find("E13"), nullptr);
+  EXPECT_EQ(registry.find("E14"), nullptr);
   EXPECT_EQ(registry.find(""), nullptr);
 }
 
@@ -61,9 +61,9 @@ TEST(Registry, RegistrationIsIdempotentAndRejectsDuplicates) {
   register_all_experiments();
   register_all_experiments();  // second call must be a no-op
   auto& registry = Registry::instance();
-  EXPECT_EQ(registry.size(), 12u);
+  EXPECT_EQ(registry.size(), 13u);
   EXPECT_THROW(registry.add(registry.experiments()[0]), std::logic_error);
-  EXPECT_EQ(registry.size(), 12u);
+  EXPECT_EQ(registry.size(), 13u);
 }
 
 TEST(Tier, ParsesQuickAndFullSpellings) {

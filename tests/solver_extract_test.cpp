@@ -106,5 +106,25 @@ TEST(OptimalPolicyStandalone, NullTableRejected) {
   EXPECT_THROW(OptimalPolicy(nullptr), std::invalid_argument);
 }
 
+// The O(log L) crossover search must pick the bit-identical (longest
+// attaining) period the O(L) scan picks on EVERY state — extraction feeds
+// committed schedules, so a different tie-break would silently change
+// simulation results. Exhaustive over several c regimes, including c = 1
+// (no prefix region) and c > L (prefix only).
+TEST(BestPeriodLength, FastMatchesLinearScanExhaustively) {
+  for (Ticks c : {Ticks{1}, Ticks{2}, Ticks{7}, Ticks{16}, Ticks{33}, Ticks{250}}) {
+    constexpr int kMaxP = 3;
+    constexpr Ticks kMaxL = 200;
+    const ValueTable table = solve_reference(kMaxP, kMaxL, Params{c});
+    for (int p = 1; p <= kMaxP; ++p) {
+      for (Ticks l = 1; l <= kMaxL; ++l) {
+        ASSERT_EQ(best_period_length(table, p, l),
+                  best_period_length_linear(table, p, l))
+            << "c=" << c << " p=" << p << " l=" << l;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nowsched::solver

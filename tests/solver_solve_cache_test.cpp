@@ -1,0 +1,191 @@
+// solver::SolveCache — canonicalization, sharing, counters, eviction, error
+// recovery, and the concurrent single-solve guarantee (run under TSan in CI).
+#include "solver/solve_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "solver/fast_solver.h"
+
+namespace nowsched::solver {
+namespace {
+
+TEST(CanonicalKey, ClampsAndRoundsUpToBlockMultiple) {
+  const SolveKey k = canonical_key({3, 100, Params{16}});
+  EXPECT_EQ(k.max_p, 3);
+  EXPECT_EQ(k.c, 16);
+  EXPECT_EQ(k.max_lifespan, 112);  // next multiple of 16
+
+  EXPECT_EQ(canonical_key({3, 112, Params{16}}).max_lifespan, 112);  // exact stays
+  EXPECT_EQ(canonical_key({-2, -5, Params{16}}).max_p, 0);
+  EXPECT_EQ(canonical_key({-2, -5, Params{16}}).max_lifespan, 0);
+  EXPECT_THROW(canonical_key({1, 10, Params{0}}), std::invalid_argument);
+}
+
+TEST(CanonicalKey, FoldsNearbyRequestsOntoOneKeyTransparently) {
+  // Requests within one c-block share a key, and the bigger canonical table
+  // answers every lookup of the smaller request bit-identically.
+  const SolveRequest a{2, 97, Params{16}};
+  const SolveRequest b{2, 112, Params{16}};
+  ASSERT_EQ(canonical_key(a), canonical_key(b));
+
+  const ValueTable exact = solve_fast(2, 97, Params{16});
+  const auto canonical = solve_shared(a);
+  for (int p = 0; p <= 2; ++p) {
+    for (Ticks l = 0; l <= 97; ++l) {
+      ASSERT_EQ(canonical->value(p, l), exact.value(p, l)) << p << " " << l;
+    }
+  }
+}
+
+TEST(CanonicalKey, HashIsPlatformStableAndFieldSensitive) {
+  const SolveKey k{2, 64, 16};
+  EXPECT_EQ(k.hash(), (SolveKey{2, 64, 16}.hash()));
+  EXPECT_NE(k.hash(), (SolveKey{3, 64, 16}.hash()));
+  EXPECT_NE(k.hash(), (SolveKey{2, 80, 16}.hash()));
+  EXPECT_NE(k.hash(), (SolveKey{2, 64, 32}.hash()));
+}
+
+TEST(SolveCache, HitsShareOneTableAndCountersTrack) {
+  SolveCache cache;
+  const SolveRequest req{2, 200, Params{16}};
+  const auto first = cache.get_or_solve(req);
+  const auto second = cache.get_or_solve(req);
+  EXPECT_EQ(first.get(), second.get());  // same object, not an equal copy
+
+  // A rounding-equivalent request is a hit too.
+  const auto third = cache.get_or_solve({2, 195, Params{16}});
+  EXPECT_EQ(first.get(), third.get());
+
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+}
+
+TEST(SolveCache, DistinctKeysGetDistinctTables) {
+  SolveCache cache;
+  const auto a = cache.get_or_solve({2, 64, Params{16}});
+  const auto b = cache.get_or_solve({3, 64, Params{16}});
+  const auto c = cache.get_or_solve({2, 64, Params{32}});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsedWithinCapacity) {
+  SolveCache::Options options;
+  options.shards = 1;  // one shard makes the LRU order observable
+  options.max_entries = 2;
+  SolveCache cache(options);
+
+  const SolveRequest a{1, 16, Params{16}};
+  const SolveRequest b{1, 32, Params{16}};
+  const SolveRequest c{1, 48, Params{16}};
+  const auto ta = cache.get_or_solve(a);
+  (void)cache.get_or_solve(b);
+  (void)cache.get_or_solve(a);  // refresh a: b becomes LRU
+  (void)cache.get_or_solve(c);  // evicts b
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // a survived (hit, same object); b was evicted (miss, re-solved).
+  EXPECT_EQ(cache.get_or_solve(a).get(), ta.get());
+  const auto before = cache.stats().misses;
+  (void)cache.get_or_solve(b);
+  EXPECT_EQ(cache.stats().misses, before + 1);
+}
+
+TEST(SolveCache, ClearDropsTablesButKeepsLifetimeCounters) {
+  SolveCache cache;
+  (void)cache.get_or_solve({1, 64, Params{16}});
+  (void)cache.get_or_solve({1, 64, Params{16}});
+  cache.clear();
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Re-request re-solves.
+  (void)cache.get_or_solve({1, 64, Params{16}});
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SolveCache, FailedSolveIsNotCachedAndRetries) {
+  SolveCache cache;
+  // Invalid params throw inside canonicalization — before any map entry.
+  EXPECT_THROW((void)cache.get_or_solve({1, 10, Params{0}}), std::invalid_argument);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // A healthy request for a nearby key still works afterwards.
+  EXPECT_NE(cache.get_or_solve({1, 10, Params{16}}), nullptr);
+}
+
+TEST(SolveCache, ConcurrentRequestsForOneKeySolveExactlyOnce) {
+  // 8 threads hammer 4 keys; per key exactly one miss, and every thread for
+  // a key receives the SAME table object. TSan checks the locking.
+  SolveCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 50;
+  std::vector<std::shared_ptr<const ValueTable>> first_seen(4);
+  std::atomic<bool> mismatch{false};
+
+  {
+    // Resolve each key once up front on this thread to have a comparison
+    // object that does not race with the worker threads' first resolution.
+    for (int k = 0; k < 4; ++k) {
+      first_seen[static_cast<std::size_t>(k)] =
+          cache.get_or_solve({2, 64 + 16 * k, Params{16}});
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &first_seen, &mismatch, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int k = (t + i) % 4;
+        const auto table = cache.get_or_solve({2, 64 + 16 * k, Params{16}});
+        if (table.get() != first_seen[static_cast<std::size_t>(k)].get()) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(mismatch.load());
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(SolveCache, ColdConcurrentRaceStillSolvesOncePerKey) {
+  // Unlike the test above, the cache starts COLD and all threads race the
+  // first resolution — the in-flight future must dedupe the solves.
+  SolveCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int k = 0; k < 4; ++k) {
+        const auto table = cache.get_or_solve({2, 64 + 16 * k, Params{16}});
+        ASSERT_NE(table, nullptr);
+        ASSERT_EQ(table->value(0, 32), 16);  // 32 − c
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+}  // namespace
+}  // namespace nowsched::solver
