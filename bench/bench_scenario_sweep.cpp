@@ -1,0 +1,178 @@
+// E14 — scenario sweep: sim::BatchRunner throughput across the GENERATED
+// workload space. Where E13 hand-builds one cache-friendly mix, this
+// experiment asks the ScenarioGenerator for batches along the axes the
+// generator opens: contract-class folding (fully folded -> fully
+// heterogeneous), the owner-process mix (including the Markov-modulated /
+// inhomogeneous / bursty processes), and correlated farm groups — and
+// measures sessions/sec and solve-cache behaviour for each profile. Every
+// profile is also run with and without the pool and checked for the batch
+// determinism contract (bit-identical aggregates), so the sweep doubles as
+// an end-to-end exercise of the generator -> batch -> cache pipeline on
+// every regeneration.
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/harness.h"
+
+#include "sim/batch_runner.h"
+#include "sim/scenario_gen.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::bench {
+namespace {
+
+struct Profile {
+  const char* name;
+  sim::ScenarioDomain domain;
+  bool farms = false;  ///< draw correlated farm groups instead of batch()
+};
+
+std::vector<Profile> make_profiles(bool quick) {
+  const Ticks max_u = quick ? 4096 : 16384;
+
+  Profile folded;
+  folded.name = "folded";
+  folded.domain.policies = {sim::PolicyKind::kDpOptimal};
+  folded.domain.max_lifespan = max_u;
+  folded.domain.contract_classes = 4;
+  folded.domain.class_fraction = 1.0;  // every contract from a class
+
+  Profile mixed;
+  mixed.name = "mixed";
+  mixed.domain.max_lifespan = max_u;
+  mixed.domain.contract_classes = 8;
+  mixed.domain.class_fraction = 0.5;
+
+  Profile hetero;
+  hetero.name = "heterogeneous";
+  hetero.domain.policies = {sim::PolicyKind::kDpOptimal};
+  hetero.domain.max_lifespan = max_u;
+  hetero.domain.contract_classes = 0;  // every session its own contract
+
+  Profile farms;
+  farms.name = "correlated-farms";
+  farms.domain.max_lifespan = max_u;
+  farms.domain.contract_classes = 6;
+  farms.domain.farm_size = 8;
+  farms.farms = true;
+
+  return {folded, mixed, hetero, farms};
+}
+
+std::vector<sim::ScenarioSpec> draw(const Profile& profile, std::size_t sessions,
+                                    std::uint64_t seed) {
+  sim::ScenarioGenerator gen(profile.domain, seed);
+  if (!profile.farms) return gen.batch(sessions);
+  std::vector<sim::ScenarioSpec> specs;
+  while (specs.size() < sessions) {
+    for (auto& spec : gen.farm_group(profile.domain.farm_size)) {
+      specs.push_back(spec);
+    }
+  }
+  specs.resize(sessions);
+  return specs;
+}
+
+void run(harness::Context& ctx) {
+  const util::Flags& flags = ctx.flags();
+  const std::size_t sessions = static_cast<std::size_t>(
+      flags.get_int("sessions", ctx.quick() ? 96 : 768));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 4));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 0xE14));
+  const int reps = ctx.quick() ? 1 : 2;
+
+  ctx.csv({"profile", "sessions", "wall_ms", "sessions_per_sec", "hit_rate",
+           "resident_mb", "banked_total"});
+  util::Table out({"profile", "wall ms", "sessions/s", "hit rate", "resident MB",
+                   "banked total"});
+
+  double folded_per_sec = 0.0, hetero_per_sec = 0.0, folded_hit = 0.0;
+  util::ThreadPool pool(threads);
+
+  for (const Profile& profile : make_profiles(ctx.quick())) {
+    const auto specs = draw(profile, sessions, seed);
+
+    // Determinism gate: pooled and serial runs must agree bit-for-bit.
+    sim::BatchRunner serial_runner{{}};
+    const auto serial = serial_runner.run(specs);
+
+    sim::BatchResult result;
+    const double ms = harness::time_best_of_ms(reps, [&] {
+      sim::BatchOptions opts;
+      opts.pool = &pool;
+      sim::BatchRunner runner(opts);
+      result = runner.run(specs);
+    });
+    if (result.aggregate.banked_work != serial.aggregate.banked_work ||
+        result.aggregate.lifespan_used != serial.aggregate.lifespan_used) {
+      throw std::logic_error(std::string("scenario sweep profile '") +
+                             profile.name +
+                             "' diverged between pooled and serial runs");
+    }
+
+    const double per_sec =
+        ms > 0 ? static_cast<double>(sessions) / (ms / 1000.0) : 0.0;
+    const double hit_rate = result.cache.hit_rate();
+    const double resident_mb =
+        static_cast<double>(result.cache.resident_bytes) / (1024.0 * 1024.0);
+    if (std::string(profile.name) == "folded") {
+      folded_per_sec = per_sec;
+      folded_hit = hit_rate;
+    }
+    if (std::string(profile.name) == "heterogeneous") hetero_per_sec = per_sec;
+
+    ctx.write_csv_row({profile.name, std::to_string(sessions),
+                       util::Table::fmt(ms, 5), util::Table::fmt(per_sec, 5),
+                       util::Table::fmt(hit_rate, 4),
+                       util::Table::fmt(resident_mb, 4),
+                       std::to_string(static_cast<long long>(
+                           result.aggregate.banked_work))});
+    out.add_row({profile.name, util::Table::fmt(ms, 5),
+                 util::Table::fmt(per_sec, 5), util::Table::fmt(hit_rate, 4),
+                 util::Table::fmt(resident_mb, 4),
+                 util::Table::fmt(static_cast<long long>(
+                     result.aggregate.banked_work))});
+  }
+
+  ctx.metric("folded_sessions_per_sec", folded_per_sec);
+  ctx.metric("hetero_sessions_per_sec", hetero_per_sec);
+  ctx.metric("folded_hit_rate", folded_hit);
+  ctx.metric("folded_over_hetero",
+             hetero_per_sec > 0 ? folded_per_sec / hetero_per_sec : 0.0);
+
+  ctx.table(out, std::to_string(sessions) +
+                     " generated sessions per profile, pool of " +
+                     std::to_string(threads) + " threads, seed " +
+                     std::to_string(seed));
+  ctx.text(
+      "Reading: `folded` draws every dp-optimal contract from 4 canonical\n"
+      "classes (the cache-friendliest shape the generator emits),\n"
+      "`heterogeneous` gives every session its own contract (worst case for\n"
+      "the solve cache: hit rate ~0, every table solved once),\n"
+      "`mixed` and `correlated-farms` sit in between with the full owner-\n"
+      "process mix (Markov-modulated, inhomogeneous, bursty, shared-shock\n"
+      "farms). `folded_over_hetero` is the headline: how much workload\n"
+      "structure the cache converts into throughput. Every profile's pooled\n"
+      "aggregate matched its serial aggregate bit-for-bit.");
+}
+
+}  // namespace
+
+const harness::Experiment& experiment_scenario_sweep() {
+  static const harness::Experiment e{
+      "E14", "scenario_sweep",
+      "Scenario sweep: batch throughput across the generated workload space",
+      "bench_scenario_sweep",
+      "sim::BatchRunner throughput over ScenarioGenerator batches along the "
+      "cache-affinity axis (contract classes folded -> fully heterogeneous), "
+      "the owner-process mix, and correlated farm groups, with bit-identical "
+      "pooled-vs-serial aggregates asserted per profile.",
+      run};
+  return e;
+}
+
+}  // namespace nowsched::bench

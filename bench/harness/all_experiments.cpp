@@ -18,6 +18,7 @@ const harness::Experiment& experiment_solver_perf();
 const harness::Experiment& experiment_sim_perf();
 const harness::Experiment& experiment_farm_scaling();
 const harness::Experiment& experiment_batch_scaling();
+const harness::Experiment& experiment_scenario_sweep();
 
 }  // namespace nowsched::bench
 
@@ -39,6 +40,7 @@ void register_all_experiments() {
     registry.add(experiment_sim_perf());            // E11
     registry.add(experiment_farm_scaling());        // E12
     registry.add(experiment_batch_scaling());       // E13
+    registry.add(experiment_scenario_sweep());      // E14
     return true;
   }();
   (void)registered;

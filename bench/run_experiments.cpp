@@ -1,4 +1,4 @@
-// Experiment driver: runs the registered experiments E1–E13 in order and
+// Experiment driver: runs the registered experiments E1–E14 in order and
 // regenerates EXPERIMENTS.md plus the per-experiment CSV series and
 // BENCH_<slug>.json timing records in one command.
 //
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
      << "`--tier=quick` shrinks every grid to the CI smoke sizes; `--tier=full`\n"
      << "is the committed record. Model sections (E1–E9) are deterministic\n"
      << "(fixed-seed `util::rng`, exact integer DP) and must reproduce\n"
-     << "bit-for-bit on any machine; the performance sections (E10–E13) report\n"
+     << "bit-for-bit on any machine; the performance sections (E10–E14) report\n"
      << "this machine's wall clocks, so treat their absolute numbers as one\n"
      << "sample and their shapes (scaling exponents, thread speedups) as the\n"
      << "claims. Wall-clock per experiment lives in `" << artifact_prefix

@@ -1,0 +1,250 @@
+#include "adversary/processes.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nowsched::adversary {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Absolute arrival -> episode tick, if it lands inside this episode
+/// (same mapping stochastic.cpp uses).
+std::optional<Ticks> arrival_to_tick(Ticks arrival_abs, const EpisodeSchedule& episode,
+                                     const EpisodeContext& ctx) {
+  const Ticks offset = arrival_abs - ctx.episode_start;
+  if (offset < 1 || offset > episode.total()) return std::nullopt;
+  return offset;
+}
+
+/// Rounds a continuous arrival time to the integer tick grid while keeping
+/// the stream strictly increasing (arrivals less than a tick apart merge
+/// into consecutive ticks rather than colliding).
+Ticks to_strictly_later_tick(double t_abs, Ticks previous) {
+  return std::max<Ticks>(previous + 1, static_cast<Ticks>(std::llround(t_abs)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MarkovModulatedAdversary
+// ---------------------------------------------------------------------------
+
+MarkovModulatedAdversary::MarkovModulatedAdversary(double calm_gap, double busy_gap,
+                                                   double calm_dwell, double busy_dwell,
+                                                   std::uint64_t seed)
+    : calm_gap_(calm_gap),
+      busy_gap_(busy_gap),
+      calm_dwell_(calm_dwell),
+      busy_dwell_(busy_dwell),
+      rng_(seed) {
+  // Negated-form checks so NaN parameters fail too (NaN passes x <= 0.0).
+  if (!(calm_gap > 0.0) || !(busy_gap > 0.0) || !(calm_dwell > 0.0) ||
+      !(busy_dwell > 0.0)) {
+    throw std::invalid_argument(
+        "MarkovModulatedAdversary: gaps and dwell times must be positive");
+  }
+  state_end_abs_ = rng_.exponential(1.0 / calm_dwell_);
+  arm();
+}
+
+void MarkovModulatedAdversary::reset(std::uint64_t seed) {
+  rng_ = util::Rng(seed);
+  state_ = 0;
+  clock_abs_ = 0.0;
+  next_arrival_abs_ = 0;
+  state_end_abs_ = rng_.exponential(1.0 / calm_dwell_);
+  arm();
+}
+
+void MarkovModulatedAdversary::arm() {
+  // Walk dwell segments until an arrival lands inside one. Discarding the
+  // unexpired candidate at a state switch is exact: the exponential is
+  // memoryless, so the post-switch process does not remember it.
+  for (;;) {
+    const double gap = rng_.exponential(1.0 / (state_ == 0 ? calm_gap_ : busy_gap_));
+    const double candidate = clock_abs_ + gap;
+    if (candidate <= state_end_abs_) {
+      clock_abs_ = candidate;
+      next_arrival_abs_ = to_strictly_later_tick(clock_abs_, next_arrival_abs_);
+      return;
+    }
+    clock_abs_ = state_end_abs_;
+    state_ = 1 - state_;
+    state_end_abs_ =
+        clock_abs_ + rng_.exponential(1.0 / (state_ == 0 ? calm_dwell_ : busy_dwell_));
+  }
+}
+
+std::optional<Ticks> MarkovModulatedAdversary::plan_interrupt(
+    const EpisodeSchedule& episode, const EpisodeContext& ctx) {
+  while (next_arrival_abs_ <= ctx.episode_start) arm();
+  const auto tick = arrival_to_tick(next_arrival_abs_, episode, ctx);
+  if (tick) arm();
+  return tick;
+}
+
+// ---------------------------------------------------------------------------
+// InhomogeneousPoissonAdversary
+// ---------------------------------------------------------------------------
+
+InhomogeneousPoissonAdversary::InhomogeneousPoissonAdversary(double mean_gap,
+                                                             double depth,
+                                                             double period, double phase,
+                                                             std::uint64_t seed)
+    : mean_gap_(mean_gap), depth_(depth), period_(period), phase_(phase), rng_(seed) {
+  if (!(mean_gap > 0.0) || !(depth >= 0.0 && depth <= 1.0) || !(period > 0.0)) {
+    throw std::invalid_argument(
+        "InhomogeneousPoissonAdversary: need mean_gap > 0, depth in [0,1], "
+        "period > 0");
+  }
+  arm();
+}
+
+void InhomogeneousPoissonAdversary::reset(std::uint64_t seed) {
+  rng_ = util::Rng(seed);
+  clock_abs_ = 0.0;
+  next_arrival_abs_ = 0;
+  arm();
+}
+
+void InhomogeneousPoissonAdversary::arm() {
+  // Lewis–Shedler thinning: candidates arrive at the constant peak rate;
+  // each is accepted with probability lambda(t) / peak. The acceptance test
+  // consumes exactly one uniform per candidate, so the stream is a pure
+  // function of (parameters, seed).
+  const double peak_rate = (1.0 + depth_) / mean_gap_;
+  for (;;) {
+    clock_abs_ += rng_.exponential(peak_rate);
+    const double lambda_t =
+        (1.0 + depth_ * std::sin(kTwoPi * clock_abs_ / period_ + phase_)) / mean_gap_;
+    if (rng_.uniform01() * peak_rate <= lambda_t) {
+      next_arrival_abs_ = to_strictly_later_tick(clock_abs_, next_arrival_abs_);
+      return;
+    }
+  }
+}
+
+std::optional<Ticks> InhomogeneousPoissonAdversary::plan_interrupt(
+    const EpisodeSchedule& episode, const EpisodeContext& ctx) {
+  while (next_arrival_abs_ <= ctx.episode_start) arm();
+  const auto tick = arrival_to_tick(next_arrival_abs_, episode, ctx);
+  if (tick) arm();
+  return tick;
+}
+
+// ---------------------------------------------------------------------------
+// BurstyAdversary
+// ---------------------------------------------------------------------------
+
+BurstyAdversary::BurstyAdversary(double scale, double shape, double mean_burst,
+                                 double intra_gap, std::uint64_t seed)
+    : scale_(scale),
+      shape_(shape),
+      mean_burst_(mean_burst),
+      intra_gap_(intra_gap),
+      rng_(seed) {
+  if (!(scale > 0.0) || !(shape > 0.0) || !(mean_burst >= 1.0) ||
+      !(intra_gap > 0.0)) {
+    throw std::invalid_argument(
+        "BurstyAdversary: need scale > 0, shape > 0, mean_burst >= 1, "
+        "intra_gap > 0");
+  }
+  arm();
+}
+
+void BurstyAdversary::reset(std::uint64_t seed) {
+  rng_ = util::Rng(seed);
+  clock_abs_ = 0.0;
+  burst_left_ = 0;
+  next_arrival_abs_ = 0;
+  arm();
+}
+
+void BurstyAdversary::arm() {
+  if (burst_left_ > 0) {
+    // Inside a burst: short exponential gap to the next touch.
+    --burst_left_;
+    clock_abs_ += rng_.exponential(1.0 / intra_gap_);
+  } else {
+    // Between bursts: heavy-tailed absence, then a burst of
+    // 1 + Geometric(1 / mean_burst) arrivals (mean total = mean_burst).
+    clock_abs_ += rng_.pareto(scale_, shape_);
+    burst_left_ = 0;
+    if (mean_burst_ > 1.0) {
+      const double q = 1.0 - 1.0 / mean_burst_;  // P(one more arrival)
+      const double u = rng_.uniform01();
+      const double extra = std::floor(std::log1p(-u) / std::log(q));
+      // Cap the burst so a pathological uniform draw cannot stall the sim.
+      burst_left_ = static_cast<int>(std::min(extra, 64.0));
+    }
+  }
+  next_arrival_abs_ = to_strictly_later_tick(clock_abs_, next_arrival_abs_);
+}
+
+std::optional<Ticks> BurstyAdversary::plan_interrupt(const EpisodeSchedule& episode,
+                                                     const EpisodeContext& ctx) {
+  while (next_arrival_abs_ <= ctx.episode_start) arm();
+  const auto tick = arrival_to_tick(next_arrival_abs_, episode, ctx);
+  if (tick) arm();
+  return tick;
+}
+
+// ---------------------------------------------------------------------------
+// CorrelatedShockAdversary
+// ---------------------------------------------------------------------------
+
+CorrelatedShockAdversary::CorrelatedShockAdversary(double shock_gap,
+                                                   double response_prob,
+                                                   std::uint64_t group_seed,
+                                                   std::uint64_t seed)
+    : shock_gap_(shock_gap),
+      response_prob_(response_prob),
+      group_seed_(group_seed),
+      shock_rng_(group_seed),
+      private_rng_(seed) {
+  if (!(shock_gap > 0.0) || !(response_prob >= 0.0 && response_prob <= 1.0)) {
+    throw std::invalid_argument(
+        "CorrelatedShockAdversary: need shock_gap > 0 and response_prob in "
+        "[0, 1]");
+  }
+  arm();
+}
+
+void CorrelatedShockAdversary::reset(std::uint64_t seed) {
+  shock_rng_ = util::Rng(group_seed_);
+  private_rng_ = util::Rng(seed);
+  shock_clock_abs_ = 0.0;
+  next_arrival_abs_ = 0;
+  arm();
+}
+
+void CorrelatedShockAdversary::arm() {
+  // Exactly one shared draw and one private draw per shock, responded or
+  // not — so every member of the group walks the shared stream in lockstep
+  // and sees identical shock times regardless of its own response pattern.
+  if (response_prob_ <= 0.0) {
+    next_arrival_abs_ = std::numeric_limits<Ticks>::max() / 2;  // never responds
+    return;
+  }
+  for (;;) {
+    shock_clock_abs_ += shock_rng_.exponential(1.0 / shock_gap_);
+    const bool respond = private_rng_.bernoulli(response_prob_);
+    if (respond) {
+      next_arrival_abs_ = to_strictly_later_tick(shock_clock_abs_, next_arrival_abs_);
+      return;
+    }
+  }
+}
+
+std::optional<Ticks> CorrelatedShockAdversary::plan_interrupt(
+    const EpisodeSchedule& episode, const EpisodeContext& ctx) {
+  while (next_arrival_abs_ <= ctx.episode_start) arm();
+  const auto tick = arrival_to_tick(next_arrival_abs_, episode, ctx);
+  if (tick) arm();
+  return tick;
+}
+
+}  // namespace nowsched::adversary

@@ -19,7 +19,8 @@ std::optional<Ticks> arrival_to_tick(Ticks arrival_abs, const EpisodeSchedule& e
 
 PoissonAdversary::PoissonAdversary(double mean_gap_ticks, std::uint64_t seed)
     : mean_gap_(mean_gap_ticks), rng_(seed) {
-  if (mean_gap_ticks <= 0.0) {
+  // Negated form so a NaN gap fails too (NaN passes x <= 0.0).
+  if (!(mean_gap_ticks > 0.0)) {
     throw std::invalid_argument("PoissonAdversary: mean gap must be positive");
   }
   arm(0);
@@ -49,7 +50,7 @@ std::optional<Ticks> PoissonAdversary::plan_interrupt(const EpisodeSchedule& epi
 ParetoSessionAdversary::ParetoSessionAdversary(double scale_ticks, double shape,
                                                std::uint64_t seed)
     : scale_(scale_ticks), shape_(shape), rng_(seed) {
-  if (scale_ticks <= 0.0 || shape <= 0.0) {
+  if (!(scale_ticks > 0.0) || !(shape > 0.0)) {
     throw std::invalid_argument("ParetoSessionAdversary: bad scale/shape");
   }
   arm(0);
@@ -76,7 +77,7 @@ std::optional<Ticks> ParetoSessionAdversary::plan_interrupt(
 
 UniformEpisodeAdversary::UniformEpisodeAdversary(double prob, std::uint64_t seed)
     : prob_(prob), rng_(seed) {
-  if (prob < 0.0 || prob > 1.0) {
+  if (!(prob >= 0.0 && prob <= 1.0)) {
     throw std::invalid_argument("UniformEpisodeAdversary: prob in [0,1]");
   }
 }

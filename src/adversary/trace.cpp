@@ -20,6 +20,14 @@ void InterruptTrace::append(Ticks time_abs) {
   times_.push_back(time_abs);
 }
 
+InterruptTrace InterruptTrace::shifted(Ticks offset) const {
+  InterruptTrace out;
+  for (const Ticks t : times_) {
+    if (t > offset) out.append(t - offset);
+  }
+  return out;
+}
+
 TraceAdversary::TraceAdversary(InterruptTrace trace) : trace_(std::move(trace)) {}
 
 std::optional<Ticks> TraceAdversary::plan_interrupt(const EpisodeSchedule& episode,

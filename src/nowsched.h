@@ -35,6 +35,7 @@
 
 #include "adversary/adversary.h"
 #include "adversary/heuristics.h"
+#include "adversary/processes.h"
 #include "adversary/stochastic.h"
 #include "adversary/trace.h"
 
@@ -43,12 +44,14 @@
 #include "sim/event.h"
 #include "sim/farm.h"
 #include "sim/metrics.h"
+#include "sim/scenario_gen.h"
 #include "sim/session.h"
 #include "sim/taskbag.h"
 
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/hash.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/striped_lock.h"
 #include "util/stats.h"

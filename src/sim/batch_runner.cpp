@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "adversary/processes.h"
 #include "adversary/stochastic.h"
 #include "core/equalized.h"
 #include "core/guidelines.h"
@@ -18,28 +19,17 @@ void validate_spec(const ScenarioSpec& spec, std::size_t index) {
   try {
     require_valid(spec.params);
     require_valid(Opportunity{spec.lifespan, spec.max_interrupts});
-    switch (spec.owner) {
-      case OwnerKind::kPoisson:
-        if (!(spec.owner_a > 0.0)) {
-          throw std::invalid_argument("Poisson owner needs mean gap > 0");
-        }
-        break;
-      case OwnerKind::kPareto:
-        if (!(spec.owner_a > 0.0) || !(spec.owner_b > 0.0)) {
-          throw std::invalid_argument("Pareto owner needs scale > 0 and shape > 0");
-        }
-        break;
-      case OwnerKind::kUniform:
-        if (spec.owner_a < 0.0 || spec.owner_a > 1.0) {
-          throw std::invalid_argument("uniform owner needs prob in [0, 1]");
-        }
-        break;
-    }
+    // The owner constructors are the single source of parameter-validation
+    // truth (adversary/processes.cpp, adversary/stochastic.cpp); building
+    // one and throwing it away re-uses their checks verbatim.
+    (void)make_owner(spec);
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument("BatchRunner: scenario #" + std::to_string(index) +
                                 " invalid: " + e.what());
   }
 }
+
+}  // namespace
 
 std::unique_ptr<adversary::Adversary> make_owner(const ScenarioSpec& spec) {
   const std::uint64_t seed = scenario_stream_seed(spec);
@@ -51,11 +41,39 @@ std::unique_ptr<adversary::Adversary> make_owner(const ScenarioSpec& spec) {
                                                                  spec.owner_b, seed);
     case OwnerKind::kUniform:
       return std::make_unique<adversary::UniformEpisodeAdversary>(spec.owner_a, seed);
+    case OwnerKind::kMarkovModulated:
+      return std::make_unique<adversary::MarkovModulatedAdversary>(
+          spec.owner_a, spec.owner_b, spec.owner_c, spec.owner_d, seed);
+    case OwnerKind::kInhomogeneous:
+      return std::make_unique<adversary::InhomogeneousPoissonAdversary>(
+          spec.owner_a, spec.owner_b, spec.owner_c, spec.owner_d, seed);
+    case OwnerKind::kBursty:
+      return std::make_unique<adversary::BurstyAdversary>(
+          spec.owner_a, spec.owner_b, spec.owner_c, spec.owner_d, seed);
+    case OwnerKind::kCorrelatedShock:
+      // The shock stream seeds from group_seed ALONE (not the contract mix):
+      // heterogeneous stations of one group must replay identical shocks.
+      return std::make_unique<adversary::CorrelatedShockAdversary>(
+          spec.owner_a, spec.owner_b, spec.group_seed, seed);
   }
   throw std::logic_error("BatchRunner: unknown owner kind");
 }
 
-}  // namespace
+std::shared_ptr<const SchedulingPolicy> make_policy(const ScenarioSpec& spec) {
+  switch (spec.policy) {
+    case PolicyKind::kEqualized:
+      return std::make_shared<EqualizedGuidelinePolicy>();
+    case PolicyKind::kAdaptivePaper:
+      return std::make_shared<AdaptiveGuidelinePolicy>();
+    case PolicyKind::kNonAdaptiveRestart:
+      return std::make_shared<NonAdaptiveGuidelinePolicy>();
+    case PolicyKind::kDpOptimal: {
+      const solver::SolveRequest req{spec.max_interrupts, spec.lifespan, spec.params};
+      return std::make_shared<solver::OptimalPolicy>(solver::solve_shared(req));
+    }
+  }
+  throw std::logic_error("BatchRunner: unknown policy kind");
+}
 
 const char* to_string(PolicyKind kind) {
   switch (kind) {
@@ -72,6 +90,10 @@ const char* to_string(OwnerKind kind) {
     case OwnerKind::kPoisson: return "poisson";
     case OwnerKind::kPareto: return "pareto";
     case OwnerKind::kUniform: return "uniform";
+    case OwnerKind::kMarkovModulated: return "markov";
+    case OwnerKind::kInhomogeneous: return "inhomogeneous";
+    case OwnerKind::kBursty: return "bursty";
+    case OwnerKind::kCorrelatedShock: return "correlated-shock";
   }
   return "?";
 }
@@ -92,23 +114,11 @@ SessionMetrics BatchRunner::run_one(const ScenarioSpec& spec) {
   // Solves inside the batch never touch the pool: run_dag is not reentrant
   // from a worker, and the batch itself is the parallelism (header comment).
   std::shared_ptr<const SchedulingPolicy> policy;
-  switch (spec.policy) {
-    case PolicyKind::kEqualized:
-      policy = std::make_shared<EqualizedGuidelinePolicy>();
-      break;
-    case PolicyKind::kAdaptivePaper:
-      policy = std::make_shared<AdaptiveGuidelinePolicy>();
-      break;
-    case PolicyKind::kNonAdaptiveRestart:
-      policy = std::make_shared<NonAdaptiveGuidelinePolicy>();
-      break;
-    case PolicyKind::kDpOptimal: {
-      const solver::SolveRequest req{spec.max_interrupts, spec.lifespan, spec.params};
-      auto table = options_.cache_enabled ? cache_.get_or_solve(req, nullptr)
-                                          : solver::solve_shared(req, nullptr);
-      policy = std::make_shared<solver::OptimalPolicy>(std::move(table));
-      break;
-    }
+  if (spec.policy == PolicyKind::kDpOptimal && options_.cache_enabled) {
+    const solver::SolveRequest req{spec.max_interrupts, spec.lifespan, spec.params};
+    policy = std::make_shared<solver::OptimalPolicy>(cache_.get_or_solve(req, nullptr));
+  } else {
+    policy = make_policy(spec);
   }
 
   auto owner = make_owner(spec);

@@ -27,9 +27,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
+#include "core/policy.h"
 #include "core/types.h"
 #include "sim/metrics.h"
 #include "solver/solve_cache.h"
@@ -47,11 +50,18 @@ enum class PolicyKind {
   kDpOptimal,          ///< solver::OptimalPolicy over a (cached) value table
 };
 
-/// Which stochastic owner model interrupts the session (adversary/stochastic.h).
+/// Which stochastic owner model interrupts the session. The first three live
+/// in adversary/stochastic.h; the rest are the generative processes of
+/// adversary/processes.h (see owner_a..owner_d in ScenarioSpec for how the
+/// four generic parameter slots map onto each model).
 enum class OwnerKind {
-  kPoisson,  ///< mean inter-arrival owner_a ticks
-  kPareto,   ///< scale owner_a, shape owner_b
-  kUniform,  ///< per-episode interrupt probability owner_a
+  kPoisson,          ///< a = mean inter-arrival gap
+  kPareto,           ///< a = scale, b = shape
+  kUniform,          ///< a = per-episode interrupt probability
+  kMarkovModulated,  ///< a = calm gap, b = busy gap, c = calm dwell, d = busy dwell
+  kInhomogeneous,    ///< a = mean gap, b = depth, c = period, d = phase
+  kBursty,           ///< a = inter-burst scale, b = shape, c = mean burst, d = intra gap
+  kCorrelatedShock,  ///< a = shock gap, b = response prob; shared group_seed stream
 };
 
 const char* to_string(PolicyKind kind);
@@ -59,15 +69,23 @@ const char* to_string(OwnerKind kind);
 
 /// One session of the batch: policy kind, owner (lifetime) distribution,
 /// contract (c, U, p), and the seed its private RNG stream derives from.
+/// owner_a..owner_d are generic process-parameter slots interpreted per
+/// OwnerKind (see the enum); unused slots are ignored by validation.
 struct ScenarioSpec {
   PolicyKind policy = PolicyKind::kEqualized;
   OwnerKind owner = OwnerKind::kPoisson;
-  double owner_a = 3000.0;  ///< Poisson mean gap / Pareto scale / uniform prob
-  double owner_b = 1.5;     ///< Pareto shape (ignored by the other owners)
+  double owner_a = 3000.0;  ///< slot 1 (e.g. Poisson mean gap)
+  double owner_b = 1.5;     ///< slot 2 (e.g. Pareto shape)
+  double owner_c = 0.0;     ///< slot 3 (process models only)
+  double owner_d = 0.0;     ///< slot 4 (process models only)
   Params params;            ///< setup cost c
   Ticks lifespan = 0;       ///< contract lifespan U
   int max_interrupts = 0;   ///< contract interrupt bound p
   std::uint64_t seed = 0;   ///< root of this scenario's private RNG stream
+  /// Correlation group: kCorrelatedShock owners constructed with equal
+  /// group_seed share one shock stream (a farm failing together). Ignored
+  /// by the other owners; 0 is just another group id.
+  std::uint64_t group_seed = 0;
 };
 
 struct BatchOptions {
@@ -113,5 +131,16 @@ class BatchRunner {
 /// Derives the deterministic adversary seed of `spec` (exposed so tests can
 /// reproduce a batch entry with sim::run_session directly).
 std::uint64_t scenario_stream_seed(const ScenarioSpec& spec);
+
+/// Builds the spec's owner adversary, seeded from scenario_stream_seed —
+/// exactly the one a BatchRunner session would face. Throws
+/// std::invalid_argument on bad owner parameters.
+std::unique_ptr<adversary::Adversary> make_owner(const ScenarioSpec& spec);
+
+/// Builds the spec's scheduling policy. kDpOptimal solves its table through
+/// solver::solve_shared (uncached — callers wanting the cache go through
+/// BatchRunner). The conformance suite uses this + make_owner to rebuild a
+/// replayed scenario's session bit-for-bit.
+std::shared_ptr<const SchedulingPolicy> make_policy(const ScenarioSpec& spec);
 
 }  // namespace nowsched::sim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "util/parse.h"
 
 namespace nowsched::sim {
 
@@ -161,7 +164,30 @@ void SessionActor::handle_interrupt(Simulator& sim) {
     finished_ = true;
     return;
   }
+  if (pause_countdown_ > 0 && --pause_countdown_ == 0) {
+    paused_ = true;  // interrupt boundary: no episode in flight to capture
+    return;
+  }
   begin_episode(sim);
+}
+
+void SessionActor::pause_after_interrupts(int n) {
+  if (n < 1) {
+    throw std::invalid_argument("SessionActor: pause_after_interrupts needs n >= 1");
+  }
+  pause_countdown_ = n;
+}
+
+SessionCheckpoint SessionActor::checkpoint() const {
+  if (!paused_ && !finished_) {
+    throw std::logic_error("SessionActor: checkpoint() while an episode is running");
+  }
+  SessionCheckpoint ckpt;
+  ckpt.residual = finished_ ? 0 : residual_;
+  ckpt.interrupts_left = interrupts_left_;
+  ckpt.metrics = metrics_;
+  ckpt.finished = finished_;
+  return ckpt;
 }
 
 SessionMetrics run_session(const SchedulingPolicy& policy,
@@ -176,6 +202,135 @@ SessionMetrics run_session(const SchedulingPolicy& policy,
     throw std::logic_error("run_session: simulation stalled before completion");
   }
   return actor.metrics();
+}
+
+SessionCheckpoint run_session_until_interrupt(
+    const SchedulingPolicy& policy, adversary::Adversary& adversary,
+    Opportunity opportunity, Params params, int pause_after, TaskBag* bag,
+    std::optional<Checkpointing> checkpointing) {
+  Simulator sim;
+  SessionActor actor(policy, adversary, opportunity, params, bag, checkpointing);
+  actor.pause_after_interrupts(pause_after);
+  actor.start(sim);
+  sim.run();
+  if (!actor.finished() && !actor.paused()) {
+    throw std::logic_error(
+        "run_session_until_interrupt: simulation stalled before completion");
+  }
+  return actor.checkpoint();
+}
+
+SessionMetrics resume_session(const SchedulingPolicy& policy,
+                              adversary::Adversary& adversary,
+                              const SessionCheckpoint& ckpt, Params params,
+                              TaskBag* bag,
+                              std::optional<Checkpointing> checkpointing) {
+  SessionMetrics merged = ckpt.metrics;
+  if (ckpt.finished) return merged;
+  merged.merge(run_session(policy, adversary,
+                           Opportunity{ckpt.residual, ckpt.interrupts_left}, params,
+                           bag, checkpointing));
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint text round-trip
+// ---------------------------------------------------------------------------
+
+namespace {
+
+long long parse_ckpt_int(const std::string& value, const std::string& line) {
+  const auto x = util::parse_int64(value);
+  if (!x) {
+    throw std::invalid_argument("session checkpoint: malformed integer in '" +
+                                line + "'");
+  }
+  return *x;
+}
+
+}  // namespace
+
+std::string serialize(const SessionCheckpoint& ckpt) {
+  std::ostringstream os;
+  os << "nowsched-session-checkpoint v1\n";
+  os << "residual=" << ckpt.residual << "\n";
+  os << "interrupts_left=" << ckpt.interrupts_left << "\n";
+  os << "finished=" << (ckpt.finished ? 1 : 0) << "\n";
+  const SessionMetrics& m = ckpt.metrics;
+  os << "banked_work=" << m.banked_work << "\n";
+  os << "task_work=" << m.task_work << "\n";
+  os << "comm_overhead=" << m.comm_overhead << "\n";
+  os << "lost_work=" << m.lost_work << "\n";
+  os << "salvaged_work=" << m.salvaged_work << "\n";
+  os << "fragmentation=" << m.fragmentation << "\n";
+  os << "lifespan_used=" << m.lifespan_used << "\n";
+  os << "interrupts=" << m.interrupts << "\n";
+  os << "episodes=" << m.episodes << "\n";
+  os << "periods_completed=" << m.periods_completed << "\n";
+  os << "periods_killed=" << m.periods_killed << "\n";
+  os << "tasks_completed=" << m.tasks_completed << "\n";
+  return os.str();
+}
+
+SessionCheckpoint parse_session_checkpoint(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "nowsched-session-checkpoint v1") {
+    throw std::invalid_argument(
+        "session checkpoint: missing 'nowsched-session-checkpoint v1' header");
+  }
+  SessionCheckpoint ckpt;
+  // Every key serialize() writes is REQUIRED back: a truncated checkpoint
+  // must be an error, never a silently zeroed session state.
+  std::vector<std::string> missing = {
+      "residual",      "interrupts_left", "finished",
+      "banked_work",   "task_work",       "comm_overhead",
+      "lost_work",     "salvaged_work",   "fragmentation",
+      "lifespan_used", "interrupts",      "episodes",
+      "periods_completed", "periods_killed", "tasks_completed"};
+  const auto mark_seen = [&missing](const std::string& key) {
+    for (auto it = missing.begin(); it != missing.end(); ++it) {
+      if (*it == key) {
+        missing.erase(it);
+        return;
+      }
+    }
+  };
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("session checkpoint: expected key=value, got '" +
+                                  line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const long long v = parse_ckpt_int(line.substr(eq + 1), line);
+    SessionMetrics& m = ckpt.metrics;
+    if (key == "residual") ckpt.residual = v;
+    else if (key == "interrupts_left") ckpt.interrupts_left = static_cast<int>(v);
+    else if (key == "finished") ckpt.finished = v != 0;
+    else if (key == "banked_work") m.banked_work = v;
+    else if (key == "task_work") m.task_work = v;
+    else if (key == "comm_overhead") m.comm_overhead = v;
+    else if (key == "lost_work") m.lost_work = v;
+    else if (key == "salvaged_work") m.salvaged_work = v;
+    else if (key == "fragmentation") m.fragmentation = v;
+    else if (key == "lifespan_used") m.lifespan_used = v;
+    else if (key == "interrupts") m.interrupts = static_cast<int>(v);
+    else if (key == "episodes") m.episodes = static_cast<std::size_t>(v);
+    else if (key == "periods_completed") m.periods_completed = static_cast<std::size_t>(v);
+    else if (key == "periods_killed") m.periods_killed = static_cast<std::size_t>(v);
+    else if (key == "tasks_completed") m.tasks_completed = static_cast<std::size_t>(v);
+    else {
+      throw std::invalid_argument("session checkpoint: unknown key '" + key + "'");
+    }
+    mark_seen(key);
+  }
+  if (!missing.empty()) {
+    throw std::invalid_argument("session checkpoint: incomplete record, missing '" +
+                                missing.front() + "'");
+  }
+  return ckpt;
 }
 
 }  // namespace nowsched::sim

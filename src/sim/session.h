@@ -24,6 +24,27 @@
 
 namespace nowsched::sim {
 
+/// Resumable mid-session state, captured at an interrupt boundary — the only
+/// points where no episode is in flight, so the whole session state is the
+/// residual contract plus the metrics banked so far. A session resumed from
+/// a checkpoint continues BIT-IDENTICALLY to the uninterrupted original:
+/// policies are pure functions of (residual, interrupts_left), episodes span
+/// the residual by construction, and the adversary side is re-based by
+/// shifting its trace (InterruptTrace::shifted) by the consumed lifespan
+/// (== metrics.lifespan_used). Asserted against generated interrupt traces
+/// in tests/sim_checkpoint_test.cpp and the conformance suite.
+struct SessionCheckpoint {
+  Ticks residual = 0;       ///< lifespan remaining at the pause point
+  int interrupts_left = 0;  ///< contract interrupts the owner may still use
+  SessionMetrics metrics;   ///< accumulated up to the pause point
+  bool finished = false;    ///< session completed before the requested pause
+};
+
+/// Text round-trip of a checkpoint ("nowsched-session-checkpoint v1" header
+/// + key=value integer lines; parse(serialize(x)) == x exactly).
+std::string serialize(const SessionCheckpoint& ckpt);
+SessionCheckpoint parse_session_checkpoint(const std::string& text);
+
 class SessionActor {
  public:
   /// `bag` may be nullptr (pure model-level accounting). `checkpointing`
@@ -37,7 +58,17 @@ class SessionActor {
   /// Schedules the first episode on `sim` (at the current sim time).
   void start(Simulator& sim);
 
+  /// Halt instead of beginning the next episode once `n` further interrupts
+  /// have been handled (n >= 1). Set before start(); when the session runs
+  /// out of lifespan first, it simply finishes.
+  void pause_after_interrupts(int n);
+
   bool finished() const noexcept { return finished_; }
+  bool paused() const noexcept { return paused_; }
+
+  /// The resumable state; call only when paused() or finished().
+  SessionCheckpoint checkpoint() const;
+
   const SessionMetrics& metrics() const noexcept { return metrics_; }
 
  private:
@@ -70,6 +101,8 @@ class SessionActor {
 
   SessionMetrics metrics_;
   bool finished_ = false;
+  int pause_countdown_ = -1;  ///< -1: never pause
+  bool paused_ = false;
 };
 
 /// Runs a single session to completion on a private Simulator.
@@ -77,5 +110,23 @@ SessionMetrics run_session(const SchedulingPolicy& policy,
                            adversary::Adversary& adversary, Opportunity opportunity,
                            Params params, TaskBag* bag = nullptr,
                            std::optional<Checkpointing> checkpointing = std::nullopt);
+
+/// Runs a session but pauses after `pause_after` interrupts (>= 1) have been
+/// handled, returning the resumable state (checkpoint.finished when the
+/// session completed first).
+SessionCheckpoint run_session_until_interrupt(
+    const SchedulingPolicy& policy, adversary::Adversary& adversary,
+    Opportunity opportunity, Params params, int pause_after, TaskBag* bag = nullptr,
+    std::optional<Checkpointing> checkpointing = std::nullopt);
+
+/// Continues a paused session to completion and returns the FULL-session
+/// metrics (checkpoint metrics merged with the continuation). The caller
+/// re-bases time-dependent adversaries to the resume point — for traces,
+/// TraceAdversary(trace.shifted(ckpt.metrics.lifespan_used)).
+SessionMetrics resume_session(const SchedulingPolicy& policy,
+                              adversary::Adversary& adversary,
+                              const SessionCheckpoint& ckpt, Params params,
+                              TaskBag* bag = nullptr,
+                              std::optional<Checkpointing> checkpointing = std::nullopt);
 
 }  // namespace nowsched::sim

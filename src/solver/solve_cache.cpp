@@ -30,10 +30,9 @@ SolveCache::SolveCache() : SolveCache(Options()) {}
 
 SolveCache::SolveCache(Options options)
     : stripes_(options.shards), shards_(stripes_.stripes()) {
-  const std::size_t per_shard =
-      (std::max<std::size_t>(options.max_entries, 1) + shards_.size() - 1) /
-      shards_.size();
-  per_shard_capacity_ = std::max<std::size_t>(per_shard, 1);
+  // An even slice per shard. A slice of 0 is legal: each shard then retains
+  // only its most recently finished table (the `keep` guarantee).
+  per_shard_budget_ = options.max_bytes / shards_.size();
 }
 
 std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& req,
@@ -46,6 +45,7 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
   std::promise<TablePtr> promise;
   Future future;
   bool owner = false;
+  std::uint64_t my_insert_id = 0;
   {
     auto guard = stripes_.lock(hash);
     auto it = shard.map.find(key);
@@ -55,8 +55,10 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
       future = promise.get_future().share();
-      shard.map.emplace(key, Entry{future, ++shard.clock});
-      evict_excess_locked(shard);
+      my_insert_id = ++shard.clock;
+      // bytes stays 0 until the solve finishes — eviction happens on
+      // completion, when this entry's true size is known.
+      shard.map.emplace(key, Entry{future, my_insert_id, my_insert_id, 0});
       owner = true;
       misses_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -66,7 +68,19 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
     // Solve outside the stripe lock: other keys on this shard stay
     // resolvable, and waiters on THIS key block on the future instead.
     try {
-      promise.set_value(solve_shared(req, pool));
+      TablePtr table = solve_shared(req, pool);
+      const std::size_t table_bytes = table->bytes();
+      promise.set_value(std::move(table));
+      auto guard = stripes_.lock(hash);
+      auto it = shard.map.find(key);
+      // Record the bytes only on OUR entry — a concurrent clear() may have
+      // dropped it, or a clear()+re-request replaced it with a fresh
+      // in-flight entry whose own completion will do its own accounting.
+      if (it != shard.map.end() && it->second.insert_id == my_insert_id) {
+        it->second.bytes = table_bytes;
+        shard.bytes += table_bytes;
+        evict_excess_locked(shard, key);
+      }
     } catch (...) {
       promise.set_exception(std::current_exception());
       auto guard = stripes_.lock(hash);
@@ -80,6 +94,7 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
         try {
           (void)it->second.future.get();
         } catch (...) {
+          shard.bytes -= it->second.bytes;
           shard.map.erase(it);
         }
       }
@@ -89,15 +104,23 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
   return future.get();  // rethrows the owner's exception for waiters
 }
 
-void SolveCache::evict_excess_locked(Shard& shard) {
-  // Called with the newly inserted entry holding the freshest clock value,
-  // so the LRU minimum can never be the entry we just inserted. Evicting an
-  // in-flight entry is safe: waiters hold their own shared_future copies.
-  while (shard.map.size() > per_shard_capacity_) {
-    auto victim = shard.map.begin();
+void SolveCache::evict_excess_locked(Shard& shard, const SolveKey& keep) {
+  // Only finished entries (bytes > 0) are candidates: evicting an in-flight
+  // entry frees nothing (its waiters hold their own shared_future copies and
+  // its size is still unknown), and `keep` — the table whose completion
+  // triggered this pass — always survives, so a single oversized table
+  // parks in its shard instead of thrashing.
+  while (shard.bytes > per_shard_budget_) {
+    auto victim = shard.map.end();
     for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
+      if (it->second.bytes == 0 || it->first == keep) continue;
+      if (victim == shard.map.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
     }
+    if (victim == shard.map.end()) break;  // nothing evictable remains
+    shard.bytes -= victim->second.bytes;
     shard.map.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -111,6 +134,7 @@ SolveCacheStats SolveCache::stats() const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::unique_lock<std::mutex> guard(stripes_.stripe(i));
     s.entries += shards_[i].map.size();
+    s.resident_bytes += shards_[i].bytes;
   }
   return s;
 }
@@ -119,6 +143,7 @@ void SolveCache::clear() {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::unique_lock<std::mutex> guard(stripes_.stripe(i));
     shards_[i].map.clear();
+    shards_[i].bytes = 0;
   }
 }
 

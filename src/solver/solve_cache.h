@@ -19,9 +19,20 @@
 // solve_shared applies the same canonicalization whether or not a cache
 // sits in front of it, so cached and uncached runs see identical tables.
 //
-// Eviction is per-shard LRU with a fixed entry capacity; hit/miss/evict
+// Eviction is per-shard LRU against a BYTE budget: every finished table
+// reports its slab size (ValueTable::bytes), each shard owns an equal slice
+// of Options::max_bytes, and completing a solve evicts least-recently-used
+// resident tables until the shard fits again. Entry count was the previous
+// proxy and is a poor one under mixed-N batches (a 10⁶-lifespan table costs
+// five orders of magnitude more than a 10¹ one); bytes are what the machine
+// actually runs out of. In-flight solves weigh zero until they finish (their
+// size is unknown) and every shard always keeps at least its most recent
+// table, even when that table alone exceeds the slice — a cache that cannot
+// hold the table it just built would thrash to zero hits. Hit/miss/evict
 // counters are lifetime totals (monotone, never reset by eviction) exposed
-// through stats() for benches and the E13 hit-rate report.
+// through stats() for benches and the E13 hit-rate report;
+// stats().resident_bytes is the exact byte accounting the eviction loop
+// maintains (tests pin it equal to the sum of resident slab sizes).
 #pragma once
 
 #include <atomic>
@@ -79,12 +90,15 @@ std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
                                                util::ThreadPool* pool = nullptr);
 
 /// Lifetime counters. hits + misses == completed get_or_solve calls;
-/// entries/evictions describe the resident set.
+/// entries/evictions/resident_bytes describe the resident set.
 struct SolveCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  /// Bytes of finished resident tables (in-flight solves count 0 until
+  /// their size is known).
+  std::size_t resident_bytes = 0;
 
   double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -97,8 +111,10 @@ class SolveCache {
   struct Options {
     /// Stripe/shard count; rounded up to a power of two.
     std::size_t shards = 8;
-    /// Total resident tables across all shards (split evenly; min 1 each).
-    std::size_t max_entries = 64;
+    /// Total byte budget for resident tables across all shards (split
+    /// evenly). Each shard always keeps its most recently finished table
+    /// even when it alone exceeds the slice.
+    std::size_t max_bytes = 64u << 20;  // 64 MiB
   };
 
   SolveCache();  // default Options
@@ -140,19 +156,26 @@ class SolveCache {
   struct Entry {
     Future future;
     std::uint64_t last_used = 0;  ///< shard-local LRU clock value
+    std::uint64_t insert_id = 0;  ///< identity tag: which insertion this is
+    std::size_t bytes = 0;        ///< 0 while the solve is in flight
   };
 
   struct Shard {
     std::unordered_map<SolveKey, Entry, KeyHash> map;
-    std::uint64_t clock = 0;  ///< monotone per-shard use counter
+    std::uint64_t clock = 0;      ///< monotone per-shard use counter
+    std::size_t bytes = 0;        ///< Σ entry.bytes of this map
   };
 
-  void evict_excess_locked(Shard& shard);
+  /// Evicts LRU *finished* entries (in-flight ones weigh nothing, so
+  /// removing them cannot relieve byte pressure) until the shard fits its
+  /// slice or only `keep` remains. `keep` is the entry that must survive —
+  /// the one whose bytes were just recorded.
+  void evict_excess_locked(Shard& shard, const SolveKey& keep);
 
   // mutable: stats() is logically const but must lock shard stripes.
   mutable util::StripedMutex stripes_;
   std::vector<Shard> shards_;
-  std::size_t per_shard_capacity_;
+  std::size_t per_shard_budget_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

@@ -45,6 +45,11 @@ class ValueTable {
   Ticks max_lifespan() const noexcept { return max_l_; }
   const Params& params() const noexcept { return params_; }
 
+  /// Slab size in bytes — what a resident table costs a cache (the
+  /// (max_p+1) × (max_lifespan+1) value storage; the struct header is
+  /// negligible against any real table).
+  std::size_t bytes() const noexcept { return slab_.size() * sizeof(Ticks); }
+
   /// Mutable level access for the solvers.
   ///
   /// Concurrency contract (what the wavefront solver relies on): distinct

@@ -1,0 +1,152 @@
+// The generative owner processes of adversary/processes.h: parameter
+// validation, seed determinism, reset semantics, and the correlation
+// contract of the shared-shock model.
+#include "adversary/processes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "adversary/trace.h"
+#include "core/equalized.h"
+#include "sim/session.h"
+
+namespace nowsched::adversary {
+namespace {
+
+constexpr Params kParams{16};
+
+/// Records the interrupt trace a session against `owner` produces.
+InterruptTrace trace_of(Adversary& owner, Ticks u = 8000, int p = 6) {
+  const EqualizedGuidelinePolicy policy;
+  RecordingAdversary recorder(owner);
+  (void)sim::run_session(policy, recorder, Opportunity{u, p}, kParams);
+  return recorder.trace();
+}
+
+TEST(Processes, ConstructorsValidateParameters) {
+  EXPECT_THROW(MarkovModulatedAdversary(0.0, 1.0, 1.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(MarkovModulatedAdversary(1.0, 1.0, -2.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(InhomogeneousPoissonAdversary(0.0, 0.5, 10.0, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(InhomogeneousPoissonAdversary(10.0, 1.5, 10.0, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BurstyAdversary(10.0, 0.0, 2.0, 5.0, 1), std::invalid_argument);
+  EXPECT_THROW(BurstyAdversary(10.0, 1.0, 0.5, 5.0, 1), std::invalid_argument);
+  EXPECT_THROW(CorrelatedShockAdversary(0.0, 0.5, 1, 2), std::invalid_argument);
+  EXPECT_THROW(CorrelatedShockAdversary(10.0, 1.5, 1, 2), std::invalid_argument);
+
+  // NaN must not slide through the range checks: with e.g. response_prob =
+  // NaN the arm() loop would never accept a shock and the session would
+  // hang — the constructors are the last line of defense.
+  const double nan = std::nan("");
+  EXPECT_THROW(MarkovModulatedAdversary(nan, 1.0, 1.0, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(InhomogeneousPoissonAdversary(10.0, nan, 10.0, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BurstyAdversary(10.0, 1.0, nan, 5.0, 1), std::invalid_argument);
+  EXPECT_THROW(CorrelatedShockAdversary(10.0, nan, 1, 2), std::invalid_argument);
+}
+
+TEST(Processes, SameSeedSameTraceAcrossAllModels) {
+  const auto build = [](int which, std::uint64_t seed) -> std::unique_ptr<Adversary> {
+    switch (which) {
+      case 0:
+        return std::make_unique<MarkovModulatedAdversary>(2500.0, 150.0, 1200.0,
+                                                          500.0, seed);
+      case 1:
+        return std::make_unique<InhomogeneousPoissonAdversary>(700.0, 0.9, 3000.0,
+                                                               0.5, seed);
+      case 2:
+        return std::make_unique<BurstyAdversary>(1500.0, 1.1, 4.0, 30.0, seed);
+      default:
+        return std::make_unique<CorrelatedShockAdversary>(900.0, 0.8, 0x6A0, seed);
+    }
+  };
+  for (int which = 0; which < 4; ++which) {
+    auto a = build(which, 0x111);
+    auto b = build(which, 0x111);
+    auto c = build(which, 0x222);
+    const auto ta = trace_of(*a);
+    EXPECT_EQ(ta.times(), trace_of(*b).times()) << a->name();
+    // A different seed must actually change the stream (vacuous-determinism
+    // guard; all these processes fire several times over U=8000).
+    ASSERT_GT(ta.size(), 0u) << a->name();
+    EXPECT_NE(ta.times(), trace_of(*c).times()) << a->name();
+  }
+}
+
+TEST(Processes, ResetReproducesTheStreamFromScratch) {
+  MarkovModulatedAdversary owner(2000.0, 100.0, 900.0, 400.0, 0xAB);
+  const auto first = trace_of(owner);
+  owner.reset(0xAB);
+  EXPECT_EQ(trace_of(owner).times(), first.times());
+  owner.reset(0xCD);
+  EXPECT_NE(trace_of(owner).times(), first.times());
+}
+
+TEST(Processes, CorrelatedShockGroupSharesShockTimes) {
+  // Full response probability: every station of the group replays the
+  // IDENTICAL failure pattern regardless of its private seed.
+  CorrelatedShockAdversary a(600.0, 1.0, 0x6006, 0x1);
+  CorrelatedShockAdversary b(600.0, 1.0, 0x6006, 0x2);
+  const auto ta = trace_of(a);
+  ASSERT_GT(ta.size(), 0u);
+  EXPECT_EQ(ta.times(), trace_of(b).times());
+
+  // A different group is a different shock stream entirely.
+  CorrelatedShockAdversary other(600.0, 1.0, 0x7007, 0x1);
+  EXPECT_NE(trace_of(other).times(), ta.times());
+}
+
+TEST(Processes, PartialResponseThinsTheSharedStream) {
+  // A station responding with prob < 1 interrupts at a SUBSET of the
+  // full-response station's shock times (the streams stay in lockstep, the
+  // private coin only drops arrivals). Both sessions get an interrupt
+  // budget far above the shock count so neither trace is truncated by p.
+  CorrelatedShockAdversary full(500.0, 1.0, 0xBEEF, 0x9);
+  CorrelatedShockAdversary half(500.0, 0.5, 0xBEEF, 0x9);
+  const auto all = trace_of(full, 8000, 64);
+  const auto some = trace_of(half, 8000, 64);
+  EXPECT_LE(some.size(), all.size());
+  for (const Ticks t : some.times()) {
+    bool present = false;
+    for (const Ticks s : all.times()) present = present || s == t;
+    EXPECT_TRUE(present) << "responded shock " << t
+                         << " is not a shock of the shared stream";
+  }
+}
+
+TEST(Processes, ZeroResponseNeverInterrupts) {
+  CorrelatedShockAdversary never(100.0, 0.0, 0x5, 0x6);
+  EXPECT_EQ(trace_of(never).size(), 0u);
+}
+
+TEST(Processes, BurstyProducesClusters) {
+  // With near-certain multi-touch bursts and tiny intra-burst gaps, some
+  // recorded gap must be far below the inter-burst scale.
+  BurstyAdversary owner(2500.0, 1.5, 5.0, 10.0, 0x77);
+  const auto trace = trace_of(owner, 30000, 12);
+  ASSERT_GT(trace.size(), 2u);
+  Ticks min_gap = trace.times()[1] - trace.times()[0];
+  for (std::size_t i = 2; i < trace.size(); ++i) {
+    min_gap = std::min(min_gap, trace.times()[i] - trace.times()[i - 1]);
+  }
+  EXPECT_LT(min_gap, 250);  // clusters exist: some gap is burst-scale
+}
+
+TEST(Processes, InhomogeneousZeroDepthMatchesArrivalBudget) {
+  // depth 0 degenerates to homogeneous Poisson: over a long horizon the
+  // arrival count should be within a loose factor of horizon / mean_gap
+  // (not a distributional test — a sanity anchor for the thinning loop).
+  InhomogeneousPoissonAdversary owner(500.0, 0.0, 1000.0, 0.0, 0x123);
+  const auto trace = trace_of(owner, 60000, 200);
+  const double expected = 60000.0 / 500.0;
+  EXPECT_GT(static_cast<double>(trace.size()), expected / 3.0);
+  EXPECT_LT(static_cast<double>(trace.size()), expected * 3.0);
+}
+
+}  // namespace
+}  // namespace nowsched::adversary

@@ -38,10 +38,10 @@ std::string fresh_outdir(const std::string& name) {
   return dir;
 }
 
-TEST(Registry, KnowsAllThirteenExperimentsInOrder) {
+TEST(Registry, KnowsAllFourteenExperimentsInOrder) {
   register_all_experiments();
   const auto& registry = Registry::instance();
-  ASSERT_EQ(registry.size(), 13u);
+  ASSERT_EQ(registry.size(), 14u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const Experiment& e = registry.experiments()[i];
     EXPECT_EQ(e.id, "E" + std::to_string(i + 1));
@@ -53,7 +53,8 @@ TEST(Registry, KnowsAllThirteenExperimentsInOrder) {
   // Lookup works by id and by slug, and misses return nullptr.
   EXPECT_NE(registry.find("E5"), nullptr);
   EXPECT_EQ(registry.find("E5"), registry.find("adaptive_vs_optimal"));
-  EXPECT_EQ(registry.find("E14"), nullptr);
+  EXPECT_EQ(registry.find("E14"), registry.find("scenario_sweep"));
+  EXPECT_EQ(registry.find("E15"), nullptr);
   EXPECT_EQ(registry.find(""), nullptr);
 }
 
@@ -61,9 +62,9 @@ TEST(Registry, RegistrationIsIdempotentAndRejectsDuplicates) {
   register_all_experiments();
   register_all_experiments();  // second call must be a no-op
   auto& registry = Registry::instance();
-  EXPECT_EQ(registry.size(), 13u);
+  EXPECT_EQ(registry.size(), 14u);
   EXPECT_THROW(registry.add(registry.experiments()[0]), std::logic_error);
-  EXPECT_EQ(registry.size(), 13u);
+  EXPECT_EQ(registry.size(), 14u);
 }
 
 TEST(Tier, ParsesQuickAndFullSpellings) {

@@ -1,17 +1,29 @@
 // Randomized cross-checks: every component validated against an independent
 // implementation or invariant on randomly generated instances. Seeds are
 // fixed, so failures reproduce.
+//
+// The scenario-driven suites at the bottom are tier-controlled: they run
+// NOWSCHED_FUZZ_CASES generated cases (default 200 — the quick tier; the
+// nightly job raises it to >= 5000), each case a ScenarioSpec drawn by the
+// seed-deterministic ScenarioGenerator, so "case #173 failed" reproduces
+// anywhere from the seed and index alone.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <map>
 
 #include "core/equalized.h"
 #include "core/guidelines.h"
 #include "core/transforms.h"
+#include "sim/batch_runner.h"
+#include "sim/scenario_gen.h"
+#include "solver/extract.h"
 #include "solver/fast_solver.h"
 #include "solver/nonadaptive_eval.h"
 #include "solver/policy_eval.h"
 #include "solver/reference_solver.h"
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace nowsched {
@@ -174,6 +186,124 @@ TEST(Fuzz, SplitImmuneTailPreservesTotalAndBand) {
       ASSERT_EQ(out.period(j), raw.period(i));
     }
     for (; j < out.size(); ++j) ASSERT_LE(out.period(j), 2 * params.c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-driven, tier-controlled properties (NOWSCHED_FUZZ_CASES).
+// ---------------------------------------------------------------------------
+
+/// Generated-case count: NOWSCHED_FUZZ_CASES when set (strictly parsed, a
+/// malformed value throws — same semantics as conformance::fuzz_cases),
+/// else `fallback`. Kept local so this suite stays independent of the
+/// conformance harness; the strict parsing is shared via util/parse.h.
+int fuzz_cases(int fallback) {
+  const char* env = std::getenv("NOWSCHED_FUZZ_CASES");
+  if (env == nullptr || *env == '\0') return fallback;
+  const auto v = util::parse_int64(env);
+  if (!v || *v < 1 || *v > std::numeric_limits<int>::max()) {
+    throw std::runtime_error(
+        "NOWSCHED_FUZZ_CASES must be a positive int-range integer, got '" +
+        std::string(env) + "'");
+  }
+  return static_cast<int>(*v);
+}
+
+TEST(Fuzz, GeneratedScenarioSolversAgreeAndExtractionMatchesOracle) {
+  // Per generated scenario: solve_fast vs the O(P·N²) reference, every
+  // table entry, plus best_period_length (O(log L) crossover search) vs
+  // best_period_length_linear (O(L) oracle scan) on sampled states.
+  // Contracts are capped so the quadratic oracle stays affordable.
+  sim::ScenarioDomain domain;
+  domain.min_c = 1;
+  domain.max_c = 48;
+  domain.min_lifespan = 8;
+  domain.max_lifespan = 288;
+  domain.max_interrupts = 3;
+  sim::ScenarioGenerator gen(domain, 0xFA22);
+
+  const int cases = fuzz_cases(200);
+  util::Rng sample_rng(0x5A);
+  for (int i = 0; i < cases; ++i) {
+    const sim::ScenarioSpec spec = gen.next();
+    const int p = spec.max_interrupts;
+    const Ticks u = spec.lifespan;
+    const auto fast = solver::solve_fast(p, u, spec.params);
+    const auto ref = solver::solve_reference(p, u, spec.params);
+    for (int q = 0; q <= p; ++q) {
+      for (Ticks l = 0; l <= u; ++l) {
+        ASSERT_EQ(fast.value(q, l), ref.value(q, l))
+            << "case " << i << " c=" << spec.params.c << " q=" << q << " l=" << l;
+      }
+    }
+    if (p >= 1) {
+      for (int s = 0; s < 8; ++s) {
+        const int q = static_cast<int>(sample_rng.uniform_int(1, p));
+        const Ticks l = sample_rng.uniform_int(1, u);
+        ASSERT_EQ(solver::best_period_length(fast, q, l),
+                  solver::best_period_length_linear(fast, q, l))
+            << "case " << i << " q=" << q << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, ScenarioGeneratorIsRandomAccessDeterministic) {
+  sim::ScenarioDomain domain;
+  domain.contract_classes = 4;
+  domain.class_fraction = 0.5;
+  sim::ScenarioGenerator a(domain, 0x1234);
+  sim::ScenarioGenerator b(domain, 0x1234);
+  sim::ScenarioGenerator other(domain, 0x9999);
+
+  // next() is at(cursor): sequences from equal seeds agree element-wise,
+  // and at(i) is independent of how the cursor got there.
+  const auto batch = a.batch(64);
+  bool any_difference_from_other_seed = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const sim::ScenarioSpec direct = b.at(i);
+    EXPECT_EQ(batch[i].seed, direct.seed) << i;
+    EXPECT_EQ(batch[i].lifespan, direct.lifespan) << i;
+    EXPECT_EQ(batch[i].owner, direct.owner) << i;
+    EXPECT_EQ(batch[i].owner_a, direct.owner_a) << i;
+    EXPECT_EQ(batch[i].params.c, direct.params.c) << i;
+    const sim::ScenarioSpec foreign = other.at(i);
+    any_difference_from_other_seed =
+        any_difference_from_other_seed || foreign.seed != direct.seed;
+  }
+  EXPECT_TRUE(any_difference_from_other_seed);
+
+  // Replay strings round-trip every spec bit-exactly.
+  for (const auto& spec : batch) {
+    const sim::ScenarioSpec back = sim::scenario_from_replay(to_replay_string(spec));
+    EXPECT_EQ(back.owner_a, spec.owner_a);
+    EXPECT_EQ(back.owner_d, spec.owner_d);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.group_seed, spec.group_seed);
+  }
+}
+
+TEST(Fuzz, GeneratedSpecsAlwaysPassBatchValidationAndRun) {
+  // Every generated spec must be runnable as-is: the batch layer's
+  // validation throws on none of them, and a small batch through
+  // BatchRunner completes with the lifespan fully consumed per session.
+  sim::ScenarioDomain domain;
+  domain.max_lifespan = 2048;
+  domain.contract_classes = 5;
+  domain.farm_size = 4;
+  sim::ScenarioGenerator gen(domain, 0xABCD);
+  const int cases = std::max(32, fuzz_cases(200) / 4);
+
+  auto specs = gen.batch(static_cast<std::size_t>(cases) / 2);
+  while (specs.size() < static_cast<std::size_t>(cases)) {
+    for (auto& spec : gen.farm_group(domain.farm_size)) specs.push_back(spec);
+  }
+  sim::BatchRunner runner;
+  const auto result = runner.run(specs);
+  ASSERT_EQ(result.per_scenario.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(result.per_scenario[i].lifespan_used, specs[i].lifespan) << i;
+    EXPECT_LE(result.per_scenario[i].interrupts, specs[i].max_interrupts) << i;
   }
 }
 

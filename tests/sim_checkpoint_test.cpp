@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "adversary/heuristics.h"
+#include "adversary/processes.h"
 #include "adversary/trace.h"
 #include "core/baselines.h"
+#include "core/equalized.h"
 #include "core/guidelines.h"
+#include "sim/scenario_gen.h"
 #include "sim/session.h"
 
 namespace nowsched::sim {
@@ -108,6 +113,152 @@ TEST(CheckpointSession, RejectsInvalidSpec) {
   EXPECT_THROW(run_session(policy, owner, Opportunity{100, 0}, kParams, nullptr,
                            Checkpointing{0, 1}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-restart: serialize/restore mid-session must continue
+// bit-identically. The traces come from the generated owner processes
+// (adversary/processes.h), not hand-written interrupt lists.
+// ---------------------------------------------------------------------------
+
+void expect_metrics_equal(const SessionMetrics& a, const SessionMetrics& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.banked_work, b.banked_work) << what;
+  EXPECT_EQ(a.task_work, b.task_work) << what;
+  EXPECT_EQ(a.comm_overhead, b.comm_overhead) << what;
+  EXPECT_EQ(a.lost_work, b.lost_work) << what;
+  EXPECT_EQ(a.salvaged_work, b.salvaged_work) << what;
+  EXPECT_EQ(a.fragmentation, b.fragmentation) << what;
+  EXPECT_EQ(a.lifespan_used, b.lifespan_used) << what;
+  EXPECT_EQ(a.interrupts, b.interrupts) << what;
+  EXPECT_EQ(a.episodes, b.episodes) << what;
+  EXPECT_EQ(a.periods_completed, b.periods_completed) << what;
+  EXPECT_EQ(a.periods_killed, b.periods_killed) << what;
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed) << what;
+}
+
+TEST(CheckpointRestart, SerializationRoundTripsExactly) {
+  SessionCheckpoint ckpt;
+  ckpt.residual = 12345;
+  ckpt.interrupts_left = 3;
+  ckpt.metrics.banked_work = 999;
+  ckpt.metrics.lost_work = 17;
+  ckpt.metrics.lifespan_used = 55555;
+  ckpt.metrics.episodes = 4;
+  ckpt.metrics.periods_killed = 2;
+  const SessionCheckpoint back = parse_session_checkpoint(serialize(ckpt));
+  EXPECT_EQ(back.residual, ckpt.residual);
+  EXPECT_EQ(back.interrupts_left, ckpt.interrupts_left);
+  EXPECT_EQ(back.finished, ckpt.finished);
+  expect_metrics_equal(back.metrics, ckpt.metrics, "round trip");
+}
+
+TEST(CheckpointRestart, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_session_checkpoint("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_session_checkpoint("nowsched-session-checkpoint v1\nresidual=x"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_session_checkpoint("nowsched-session-checkpoint v1\nwhat=1"),
+               std::invalid_argument);
+  // A truncated record must be an error, never a zeroed session state.
+  EXPECT_THROW(parse_session_checkpoint("nowsched-session-checkpoint v1"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_session_checkpoint("nowsched-session-checkpoint v1\nresidual=5"),
+      std::invalid_argument);
+}
+
+TEST(CheckpointRestart, ResumeContinuesBitIdenticallyUnderGeneratedTraces) {
+  // Owner behaviour comes from the generated process adversaries: record
+  // each one's interrupt trace against the policy, then check that pausing
+  // after EVERY possible interrupt count, serializing, parsing back, and
+  // resuming reproduces the uninterrupted session's metrics field-for-field.
+  const EqualizedGuidelinePolicy equalized;
+  const AdaptiveGuidelinePolicy adaptive;
+  const Opportunity opp{6000, 4};
+  const Params params{16};
+
+  std::vector<std::unique_ptr<adversary::Adversary>> owners;
+  owners.push_back(std::make_unique<adversary::MarkovModulatedAdversary>(
+      2000.0, 120.0, 1500.0, 600.0, 0xA1));
+  owners.push_back(std::make_unique<adversary::InhomogeneousPoissonAdversary>(
+      900.0, 0.8, 2500.0, 1.0, 0xB2));
+  owners.push_back(
+      std::make_unique<adversary::BurstyAdversary>(1200.0, 1.2, 3.0, 40.0, 0xC3));
+  owners.push_back(std::make_unique<adversary::CorrelatedShockAdversary>(
+      800.0, 0.9, 0xD4, 0xE5));
+
+  for (auto& owner : owners) {
+    for (const SchedulingPolicy* policy :
+         {static_cast<const SchedulingPolicy*>(&equalized),
+          static_cast<const SchedulingPolicy*>(&adaptive)}) {
+      owner->reset(0x5EED);
+      adversary::RecordingAdversary recorder(*owner);
+      const SessionMetrics full = run_session(*policy, recorder, opp, params);
+      const adversary::InterruptTrace trace = recorder.trace();
+      ASSERT_GT(full.interrupts, 0) << owner->name() << ": trace never fired — "
+                                    << "the round trip would be vacuous";
+
+      for (int k = 1; k <= full.interrupts; ++k) {
+        adversary::TraceAdversary replay(trace);
+        const SessionCheckpoint ckpt =
+            run_session_until_interrupt(*policy, replay, opp, params, k);
+        // Serialize / restore through the text format before resuming.
+        const SessionCheckpoint restored = parse_session_checkpoint(serialize(ckpt));
+        adversary::TraceAdversary tail(trace.shifted(restored.metrics.lifespan_used));
+        const SessionMetrics merged =
+            resume_session(*policy, tail, restored, params);
+        expect_metrics_equal(merged, full,
+                             owner->name() + " + " + policy->name() +
+                                 " pause_after=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(CheckpointRestart, PauseBeyondLastInterruptJustFinishes) {
+  const EqualizedGuidelinePolicy policy;
+  adversary::NoOpAdversary owner;
+  const SessionCheckpoint ckpt =
+      run_session_until_interrupt(policy, owner, Opportunity{2000, 2}, kParams, 1);
+  EXPECT_TRUE(ckpt.finished);
+  EXPECT_EQ(ckpt.residual, 0);
+  // Resuming a finished checkpoint is the identity.
+  adversary::NoOpAdversary tail;
+  const SessionMetrics merged = resume_session(policy, tail, ckpt, kParams);
+  expect_metrics_equal(merged, ckpt.metrics, "finished resume");
+}
+
+TEST(CheckpointRestart, ReplayParserRejectsNonFiniteNumbers) {
+  // "nan" and "inf" parse whole-string through strtod but poison every
+  // range check downstream (a NaN response probability hangs the shock
+  // sampler), so the replay parser refuses them outright.
+  const auto record = [](const std::string& owner_a) {
+    return "nowsched-scenario v1\npolicy=equalized\nowner=poisson\nowner_a=" +
+           owner_a + "\nc=16\nlifespan=100\nmax_interrupts=1\nseed=1\n";
+  };
+  EXPECT_NO_THROW(scenario_from_replay(record("250")));
+  EXPECT_THROW(scenario_from_replay(record("nan")), std::invalid_argument);
+  EXPECT_THROW(scenario_from_replay(record("inf")), std::invalid_argument);
+}
+
+TEST(CheckpointRestart, GeneratedScenarioTracesSurviveReplayFormat) {
+  // End-to-end with the scenario layer: a generated spec's serialized form
+  // rebuilds a spec whose session produces identical metrics.
+  ScenarioDomain domain;
+  domain.min_lifespan = 512;
+  domain.max_lifespan = 4096;
+  domain.max_interrupts = 4;
+  domain.policies = {PolicyKind::kEqualized, PolicyKind::kAdaptivePaper};
+  ScenarioGenerator gen(domain, 0x7E57);
+  for (int i = 0; i < 16; ++i) {
+    const ScenarioSpec spec = gen.next();
+    const ScenarioSpec back = scenario_from_replay(to_replay_string(spec));
+    EXPECT_EQ(back.owner, spec.owner);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.lifespan, spec.lifespan);
+    EXPECT_EQ(back.owner_a, spec.owner_a);  // bit-exact double round trip
+    EXPECT_EQ(back.owner_d, spec.owner_d);
+  }
 }
 
 }  // namespace

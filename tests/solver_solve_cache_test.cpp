@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "sim/batch_runner.h"
 #include "solver/fast_solver.h"
 
 namespace nowsched::solver {
@@ -80,10 +82,19 @@ TEST(SolveCache, DistinctKeysGetDistinctTables) {
   EXPECT_EQ(cache.stats().entries, 3u);
 }
 
-TEST(SolveCache, EvictsLeastRecentlyUsedWithinCapacity) {
+// Canonical table slab sizes used by the byte-budget tests below:
+// key (max_p, L, c) costs (max_p+1) * (L+1) * sizeof(Ticks) bytes.
+constexpr std::size_t table_bytes(int max_p, Ticks l) {
+  return static_cast<std::size_t>(max_p + 1) * static_cast<std::size_t>(l + 1) *
+         sizeof(Ticks);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsedOverByteBudget) {
   SolveCache::Options options;
   options.shards = 1;  // one shard makes the LRU order observable
-  options.max_entries = 2;
+  // a (272 B) + b (528 B) fit; adding c (784 B) breaches and must evict
+  // exactly the LRU entry.
+  options.max_bytes = table_bytes(1, 16) + table_bytes(1, 32) + 300;
   SolveCache cache(options);
 
   const SolveRequest a{1, 16, Params{16}};
@@ -92,15 +103,96 @@ TEST(SolveCache, EvictsLeastRecentlyUsedWithinCapacity) {
   const auto ta = cache.get_or_solve(a);
   (void)cache.get_or_solve(b);
   (void)cache.get_or_solve(a);  // refresh a: b becomes LRU
-  (void)cache.get_or_solve(c);  // evicts b
+  (void)cache.get_or_solve(c);  // breaches the budget -> evicts b
 
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().resident_bytes, table_bytes(1, 16) + table_bytes(1, 48));
   // a survived (hit, same object); b was evicted (miss, re-solved).
   EXPECT_EQ(cache.get_or_solve(a).get(), ta.get());
   const auto before = cache.stats().misses;
   (void)cache.get_or_solve(b);
   EXPECT_EQ(cache.stats().misses, before + 1);
+}
+
+TEST(SolveCache, ByteAccountingIsExactUnderMixedSizes) {
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 1u << 20;  // roomy: nothing evicts
+  SolveCache cache(options);
+
+  std::size_t expected = 0;
+  for (const SolveRequest req : {SolveRequest{1, 64, Params{16}},
+                                 SolveRequest{3, 512, Params{16}},
+                                 SolveRequest{2, 4096, Params{32}}}) {
+    const auto table = cache.get_or_solve(req);
+    expected += table->bytes();
+    EXPECT_EQ(cache.stats().resident_bytes, expected);
+  }
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(SolveCache, OversizedTableParksInsteadOfThrashing) {
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 64;  // smaller than ANY table
+  SolveCache cache(options);
+
+  const auto big = cache.get_or_solve({2, 1024, Params{16}});
+  // The most recent table always stays resident, even over budget...
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().resident_bytes, big->bytes());
+  EXPECT_EQ(cache.get_or_solve({2, 1024, Params{16}}).get(), big.get());  // hit
+
+  // ...and the next completion displaces it (budget still binds).
+  const auto next = cache.get_or_solve({1, 64, Params{16}});
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().resident_bytes, next->bytes());
+}
+
+TEST(SolveCache, MixedLifespanBatchEvictsButStaysDeterministic) {
+  // A BatchRunner over widely mixed N with a budget that can only hold a
+  // few tables: eviction churns, counters add up, and the batch aggregate
+  // matches the cache-disabled baseline bit-for-bit (the cache only changes
+  // who solves, never what).
+  std::vector<sim::ScenarioSpec> specs;
+  for (int i = 0; i < 24; ++i) {
+    sim::ScenarioSpec spec;
+    spec.policy = sim::PolicyKind::kDpOptimal;
+    spec.owner = sim::OwnerKind::kPoisson;
+    spec.owner_a = 900.0;
+    spec.params = Params{16};
+    spec.lifespan = 256 + 1024 * (i % 6);  // mixed N: 256 .. 5376
+    spec.max_interrupts = 2;
+    spec.seed = 0xABC0 + static_cast<std::uint64_t>(i);
+    specs.push_back(spec);
+  }
+
+  sim::BatchOptions tight;
+  tight.cache.shards = 1;
+  tight.cache.max_bytes = 3 * 6200 * sizeof(Ticks) / 2;  // ~1.5 of the larger tables
+  sim::BatchRunner constrained(tight);
+  const auto got = constrained.run(specs);
+
+  sim::BatchOptions naive;
+  naive.cache_enabled = false;
+  sim::BatchRunner baseline(naive);
+  const auto want = baseline.run(specs);
+
+  EXPECT_EQ(got.aggregate.banked_work, want.aggregate.banked_work);
+  EXPECT_EQ(got.aggregate.lifespan_used, want.aggregate.lifespan_used);
+  // Every dp session goes through the cache exactly once...
+  EXPECT_EQ(got.cache.hits + got.cache.misses, specs.size());
+  // ...the budget forced real churn...
+  EXPECT_GT(got.cache.evictions, 0u);
+  // ...and the resident set honors the accounting invariant.
+  EXPECT_LE(got.cache.entries, 6u);
+  EXPECT_GT(got.cache.resident_bytes, 0u);
 }
 
 TEST(SolveCache, ClearDropsTablesButKeepsLifetimeCounters) {
