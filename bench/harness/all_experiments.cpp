@@ -19,6 +19,7 @@ const harness::Experiment& experiment_sim_perf();
 const harness::Experiment& experiment_farm_scaling();
 const harness::Experiment& experiment_batch_scaling();
 const harness::Experiment& experiment_scenario_sweep();
+const harness::Experiment& experiment_sched_service();
 
 }  // namespace nowsched::bench
 
@@ -41,6 +42,7 @@ void register_all_experiments() {
     registry.add(experiment_farm_scaling());        // E12
     registry.add(experiment_batch_scaling());       // E13
     registry.add(experiment_scenario_sweep());      // E14
+    registry.add(experiment_sched_service());       // E15
     return true;
   }();
   (void)registered;

@@ -9,9 +9,15 @@ int main() {
   using namespace nowsched;
   const auto table = solver::solve_shared({2, 1024, Params{16}});
   sim::BatchRunner runner;
-  const auto result = runner.run({{sim::PolicyKind::kDpOptimal,
-                                   sim::OwnerKind::kPoisson, 500.0, 1.5, Params{16},
-                                   1024, 2, 42}});
+  sim::ScenarioSpec spec;  // field init, immune to ScenarioSpec growing slots
+  spec.policy = sim::PolicyKind::kDpOptimal;
+  spec.owner = sim::OwnerKind::kPoisson;
+  spec.owner_a = 500.0;
+  spec.params = Params{16};
+  spec.lifespan = 1024;
+  spec.max_interrupts = 2;
+  spec.seed = 42;
+  const auto result = runner.run({spec});
   std::cout << "W(2)[1024] = " << table->value(2, 1024) << ", batch banked "
             << result.aggregate.banked_work << "\n";
   return result.aggregate.banked_work > 0 ? 0 : 1;

@@ -10,6 +10,7 @@
 //   nowsched::solver   — exact minimax solvers for W(p)[L], policy evaluation
 //   nowsched::adversary— owner/interrupt models
 //   nowsched::sim      — discrete-event NOW simulator
+//   nowsched::service  — resident multi-tenant scheduler service
 //   nowsched::util     — support (RNG, stats, tables, threads)
 #pragma once
 
@@ -47,6 +48,11 @@
 #include "sim/scenario_gen.h"
 #include "sim/session.h"
 #include "sim/taskbag.h"
+
+#include "service/job.h"
+#include "service/queue_policy.h"
+#include "service/scheduler_service.h"
+#include "service/service_stats.h"
 
 #include "util/csv.h"
 #include "util/flags.h"

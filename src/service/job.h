@@ -1,0 +1,55 @@
+// Job and result types shared by service::QueuePolicy and
+// service::SchedulerService (split out so the queue disciplines do not
+// depend on the service class that drives them).
+//
+// A job is one tenant's scenario batch: the unit of admission, queueing,
+// and execution. Its `cost` — the scenario count — is the service currency
+// the deficit-round-robin policy meters fair shares in, and the unit the
+// per-tenant throttle budget (ServiceOptions::max_pending_scenarios_per_
+// tenant) is expressed in.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.h"
+
+namespace nowsched::service {
+
+using JobId = std::uint64_t;
+
+/// What a completed job hands back through its future.
+struct JobResult {
+  std::string tenant;
+  JobId job_id = 0;
+  /// 0-based position in the service's global completion order, assigned
+  /// under the service lock the moment the job finishes. This is the
+  /// observable the deterministic scheduling-order tests and the E15
+  /// fairness window read — an ordering fact, never a wall-clock one.
+  std::uint64_t completion_index = 0;
+  /// Submit-to-completion wall latency. Informational (stats/benches) only:
+  /// tests assert ordering and conservation invariants, never timing.
+  double latency_ms = 0.0;
+  /// Index-aligned per-scenario metrics plus the tenant cache's counters at
+  /// completion. Bit-identical to a direct BatchRunner::run over the same
+  /// specs — the service-vs-batch conformance differential pins this.
+  sim::BatchResult batch;
+};
+
+/// A queued unit of work as the queue disciplines see it. Move-only (it
+/// carries the promise the submitting client holds the future of).
+struct QueuedJob {
+  std::uint64_t seq = 0;  ///< global admission order — the FIFO sort key
+  JobId id = 0;
+  std::string tenant;
+  std::size_t cost = 0;  ///< == specs.size(); the DRR service currency
+  std::vector<sim::ScenarioSpec> specs;
+  std::promise<JobResult> promise;
+  std::chrono::steady_clock::time_point submitted_at{};
+};
+
+}  // namespace nowsched::service

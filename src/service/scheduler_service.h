@@ -1,0 +1,233 @@
+// SchedulerService — the resident, thread-safe, multi-tenant service core
+// over sim::BatchRunner: the "millions of users, one warm solver" layer of
+// the ROADMAP (DESIGN.md §8).
+//
+// Dataflow:  submit(tenant, specs)
+//              └─ admission  — validate specs; bounded per-tenant and
+//                 global queue depths and a per-tenant pending-scenario
+//                 budget; overflow is REJECTED WITH A REASON (a status the
+//                 client retries on — cooperative backpressure, never an
+//                 unbounded internal queue)
+//              └─ queue policy — a pluggable QueuePolicy (FIFO or
+//                 deficit-round-robin fair share across tenants) picks
+//                 which accepted job runs next
+//              └─ execution  — a worker thread runs the job's scenario
+//                 batch through BatchRunner with the TENANT'S OWN
+//                 byte-quota SolveCache and fulfills the job's future
+//              └─ stats      — per-tenant counters, queue depths, cache
+//                 hit rates, and p50/p90/p99 job latency via stats()
+//
+// Quota layering: every tenant gets a private solver::SolveCache whose
+// max_bytes is the tenant's quota; inside each cache, the existing
+// per-shard byte slices and keep-newest eviction apply unchanged. Isolation
+// is therefore structural — a cache-hostile tenant churns only its own
+// budget and CANNOT evict another tenant's tables (pinned by the quota-
+// isolation tests). set_tenant_quota resizes a live cache, evicting down
+// immediately.
+//
+// Determinism: scheduling decides only WHEN a job runs, never what it
+// computes. Each scenario's result is a pure function of its spec
+// (BatchRunner's contract: hash-derived private RNG streams, no global
+// state), and a cache only changes who solves a table, never its contents —
+// so per-scenario metrics are bit-identical across queue policies, worker
+// counts, tenant splits, and quota settings, and identical to a direct
+// BatchRunner::run. The service-vs-batch conformance differential fuzzes
+// exactly this claim.
+//
+// Threading contract: every public method is safe to call from any thread.
+// Workers execute jobs outside the service lock; promise fulfillment
+// happens after the completion counters are published, so a future
+// returned by submit() is (or is about to become) ready whenever stats()
+// says the job completed. With workers == 0 the service is in MANUAL mode:
+// no threads are spawned and run_next() pumps one job at a time on the
+// calling thread — the deterministic single-thread harness the
+// scheduling-order tests drive.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "service/job.h"
+#include "service/queue_policy.h"
+#include "service/service_stats.h"
+#include "sim/batch_runner.h"
+#include "solver/solve_cache.h"
+
+namespace nowsched::service {
+
+enum class SubmitStatus {
+  kAccepted,
+  kQueueFullTenant,   ///< tenant queue-depth limit hit — retry later
+  kQueueFullGlobal,   ///< global queue-depth limit hit — retry later
+  kThrottled,         ///< tenant pending-scenario budget exceeded — retry later
+  kInvalidScenario,   ///< a spec failed validation; reason names the index
+  kShuttingDown,      ///< service no longer accepts work
+};
+
+const char* to_string(SubmitStatus status);
+
+/// True for the overflow statuses a client is invited to retry on
+/// (kQueueFullTenant, kQueueFullGlobal, kThrottled) — the cooperative
+/// backpressure protocol. Invalid scenarios and shutdown are final.
+bool is_backpressure(SubmitStatus status) noexcept;
+
+/// What submit() hands back. On acceptance `result` is a valid future the
+/// job's JobResult (or execution exception) arrives on; on rejection
+/// `reason` says why and `result` is invalid.
+struct Submission {
+  SubmitStatus status = SubmitStatus::kAccepted;
+  std::string reason;
+  JobId job_id = 0;  ///< 0 when rejected
+  std::future<JobResult> result;
+
+  bool accepted() const noexcept { return status == SubmitStatus::kAccepted; }
+};
+
+struct ServiceOptions {
+  /// Worker threads executing jobs. 0 = manual mode: run_next() drives
+  /// (the deterministic test harness); >= 1 spawns resident workers.
+  std::size_t workers = 2;
+
+  QueueKind queue = QueueKind::kFifo;
+  /// DRR per-visit deficit grant in scenarios (ignored by FIFO).
+  std::size_t drr_quantum = 64;
+
+  // Admission bounds. Depths are in JOBS; the throttle budget is in
+  // SCENARIOS (so one tenant cannot monopolize compute with few huge jobs
+  // that the job-depth limits would wave through).
+  std::size_t max_queued_jobs_per_tenant = 64;
+  std::size_t max_queued_jobs_total = 256;
+  std::size_t max_pending_scenarios_per_tenant = 1u << 16;
+
+  /// SolveCache byte quota for tenants that never got an explicit
+  /// set_tenant_quota call.
+  std::size_t default_tenant_quota_bytes = 16u << 20;  // 16 MiB
+  /// Shards per tenant cache (tenants are already the coarse sharding, so
+  /// fewer stripes than a process-global cache would use).
+  std::size_t tenant_cache_shards = 4;
+
+  /// Per-tenant latency ring capacity (most recent samples kept).
+  std::size_t latency_window = 512;
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServiceOptions options = {});
+
+  /// Cancels queued jobs, lets in-flight jobs finish, joins workers —
+  /// shutdown(StopMode::kCancelQueued). Call shutdown(StopMode::kDrain)
+  /// first when queued work must complete.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Admits one job: `tenant`'s batch of scenarios. Never blocks on queue
+  /// pressure — overflow returns a backpressure status instead (see
+  /// SubmitStatus). Throws std::invalid_argument only on an empty tenant
+  /// id (a caller bug, not load).
+  Submission submit(const std::string& tenant,
+                    std::vector<sim::ScenarioSpec> specs);
+
+  /// Sets (or creates the tenant with) the tenant's cache byte quota.
+  /// Resizing a live cache evicts down immediately, keep-newest preserved
+  /// per shard (SolveCache::set_max_bytes).
+  void set_tenant_quota(const std::string& tenant, std::size_t bytes);
+
+  /// Manual mode only (workers == 0): pops the next job per the queue
+  /// policy and runs it on the calling thread. Returns false when the
+  /// queue is empty. Throws std::logic_error when the service owns worker
+  /// threads — mixing foreign threads into a running worker fleet is a
+  /// bug, not a feature.
+  bool run_next();
+
+  /// Blocks until the queue is empty and nothing is in flight (manual
+  /// mode: runs the queue dry on the calling thread instead). Does NOT
+  /// stop accepting — a concurrent submitter can keep the service busy.
+  void drain();
+
+  enum class StopMode {
+    kDrain,         ///< run every queued job, then stop
+    kCancelQueued,  ///< fail queued jobs' futures, finish in-flight, stop
+  };
+
+  /// Stops accepting (submits return kShuttingDown), resolves queued work
+  /// per `mode`, waits for in-flight jobs, and joins workers. Idempotent;
+  /// concurrent calls serialize and the first mode wins the queued jobs.
+  void shutdown(StopMode mode = StopMode::kDrain);
+
+  /// Point-in-time snapshot: per-tenant counters/queue depths/cache
+  /// stats/latency percentiles plus global sums. Safe under full load.
+  ServiceStats stats() const;
+
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Tenant {
+    Tenant(std::size_t quota, std::size_t shards, std::size_t latency_window)
+        : cache(solver::SolveCache::Options{shards, quota}),
+          latency(latency_window),
+          quota_bytes(quota) {}
+
+    solver::SolveCache cache;
+    LatencyRing latency;
+    std::size_t quota_bytes;
+
+    std::uint64_t submitted_jobs = 0;
+    std::uint64_t accepted_jobs = 0;
+    std::uint64_t rejected_tenant_full = 0;
+    std::uint64_t rejected_global_full = 0;
+    std::uint64_t rejected_throttled = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t completed_jobs = 0;
+    std::uint64_t failed_jobs = 0;
+    std::uint64_t cancelled_jobs = 0;
+    std::uint64_t submitted_scenarios = 0;
+    std::uint64_t completed_scenarios = 0;
+    std::size_t queued_jobs = 0;
+    std::size_t inflight_jobs = 0;
+    std::size_t pending_scenarios = 0;
+  };
+
+  void worker_loop();
+  /// Runs `job` on the calling thread (no service lock held), updates the
+  /// completion bookkeeping under the lock, then fulfills the promise.
+  void execute(QueuedJob job, Tenant& tenant);
+  /// Lock held: find-or-create the tenant record.
+  Tenant& tenant_locked(const std::string& id);
+
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for jobs/stop here
+  std::condition_variable idle_cv_;  ///< drain/shutdown wait for quiescence
+
+  std::unique_ptr<QueuePolicy> queue_;  // guarded by mu_
+  // unordered_map: node stability lets execute() hold a Tenant& with mu_
+  // released (the tenant's cache does its own locking).
+  std::unordered_map<std::string, Tenant> tenants_;  // guarded by mu_
+
+  std::size_t queued_total_ = 0;    // guarded by mu_
+  std::size_t inflight_total_ = 0;  // guarded by mu_
+  std::uint64_t next_seq_ = 0;      // guarded by mu_
+  JobId next_job_id_ = 1;           // guarded by mu_
+  std::uint64_t completions_ = 0;   // guarded by mu_
+  bool accepting_ = true;           // guarded by mu_
+  bool stop_workers_ = false;       // guarded by mu_
+
+  std::mutex lifecycle_mu_;  ///< serializes shutdown(); taken before mu_
+  bool joined_ = false;      // guarded by lifecycle_mu_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nowsched::service

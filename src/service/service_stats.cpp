@@ -1,0 +1,55 @@
+#include "service/service_stats.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace nowsched::service {
+
+LatencyRing::LatencyRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void LatencyRing::add(double ms) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ms);
+  } else {
+    ring_[static_cast<std::size_t>(recorded_ % capacity_)] = ms;
+  }
+  ++recorded_;
+}
+
+std::vector<double> LatencyRing::samples() const { return ring_; }
+
+LatencySummary summarize_latency(const std::vector<double>& samples_ms) {
+  LatencySummary out;
+  if (samples_ms.empty()) return out;
+  const util::Summary summary(samples_ms);
+  out.count = summary.count();
+  out.p50_ms = summary.quantile(0.50);
+  out.p90_ms = summary.quantile(0.90);
+  out.p99_ms = summary.quantile(0.99);
+  out.max_ms = summary.max();
+  return out;
+}
+
+double jains_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+const TenantStats* ServiceStats::tenant(const std::string& id) const noexcept {
+  for (const TenantStats& t : tenants) {
+    if (t.tenant == id) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace nowsched::service

@@ -1,0 +1,127 @@
+// Snapshot statistics for service::SchedulerService, plus the pure helper
+// functions the snapshot is computed with.
+//
+// Deflake discipline: everything here that a test asserts on is either a
+// monotone counter, a conservation-law quantity (submitted = accepted +
+// rejected; accepted = completed + failed + cancelled + queued + inflight),
+// or a PURE function of explicit samples (summarize_latency,
+// jains_fairness) — never a wall-clock reading. Latencies are recorded and
+// reported (they are what a service operator tunes against) but no test in
+// the battery asserts a timing value; the percentile math itself is
+// unit-tested on fixed sample vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/solve_cache.h"
+
+namespace nowsched::service {
+
+/// Fixed-capacity ring of the most recent latency samples: per-tenant
+/// memory stays bounded no matter how long the service lives, and the
+/// percentiles reflect recent behaviour instead of averaging over the whole
+/// process lifetime. Not thread-safe; the service guards it with its lock.
+class LatencyRing {
+ public:
+  explicit LatencyRing(std::size_t capacity = 512);
+
+  void add(double ms);
+
+  /// Lifetime samples recorded (>= samples().size(); the ring keeps the
+  /// last `capacity` of them).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// The retained samples, in no particular order (quantiles sort anyway).
+  std::vector<double> samples() const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t capacity_;
+  std::uint64_t recorded_ = 0;
+};
+
+struct LatencySummary {
+  std::uint64_t count = 0;  ///< samples the quantiles were computed from
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Pure: percentile summary of `samples_ms` (linear-interpolation quantiles
+/// via util::Summary). Empty input yields all zeros.
+LatencySummary summarize_latency(const std::vector<double>& samples_ms);
+
+/// Pure: Jain's fairness index J(x) = (Σx)² / (n · Σx²) over per-tenant
+/// service allocations. 1.0 = perfectly even, 1/n = one tenant got
+/// everything. Empty or all-zero input is defined as 1.0 (nothing was
+/// allocated unevenly). E15 reports this for FIFO vs fair-share queueing
+/// under skewed tenant load.
+double jains_fairness(const std::vector<double>& allocations);
+
+struct TenantStats {
+  std::string tenant;
+  std::size_t quota_bytes = 0;  ///< the tenant cache's current byte quota
+
+  // Admission counters. submitted == accepted + the five rejection kinds.
+  std::uint64_t submitted_jobs = 0;
+  std::uint64_t accepted_jobs = 0;
+  std::uint64_t rejected_tenant_full = 0;
+  std::uint64_t rejected_global_full = 0;
+  std::uint64_t rejected_throttled = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+
+  // Outcome counters. accepted == completed + failed + cancelled
+  //                             + queued_jobs + inflight_jobs.
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t failed_jobs = 0;
+  std::uint64_t cancelled_jobs = 0;
+
+  std::uint64_t submitted_scenarios = 0;  ///< scenarios in ACCEPTED jobs
+  std::uint64_t completed_scenarios = 0;
+
+  // Point-in-time queue state.
+  std::size_t queued_jobs = 0;
+  std::size_t inflight_jobs = 0;
+  std::size_t pending_scenarios = 0;  ///< scenarios queued or in flight
+
+  solver::SolveCacheStats cache;  ///< the tenant's own quota cache
+  LatencySummary latency;
+
+  std::uint64_t rejected_total() const noexcept {
+    return rejected_tenant_full + rejected_global_full + rejected_throttled +
+           rejected_invalid + rejected_shutdown;
+  }
+};
+
+struct ServiceStats {
+  std::string queue_policy;
+  std::size_t workers = 0;
+
+  std::size_t queued_jobs = 0;
+  std::size_t inflight_jobs = 0;
+
+  // Sums over tenants (same conservation laws per tenant and globally).
+  std::uint64_t submitted_jobs = 0;
+  std::uint64_t accepted_jobs = 0;
+  std::uint64_t rejected_jobs = 0;
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t failed_jobs = 0;
+  std::uint64_t cancelled_jobs = 0;
+  std::uint64_t completed_scenarios = 0;
+
+  /// Pooled over every tenant's retained samples.
+  LatencySummary latency;
+
+  /// Sorted by tenant id.
+  std::vector<TenantStats> tenants;
+
+  /// Lookup by tenant id; nullptr when the tenant has never been seen.
+  const TenantStats* tenant(const std::string& id) const noexcept;
+};
+
+}  // namespace nowsched::service

@@ -31,6 +31,10 @@ void validate_spec(const ScenarioSpec& spec, std::size_t index) {
 
 }  // namespace
 
+void validate_batch_specs(const std::vector<ScenarioSpec>& specs) {
+  for (std::size_t i = 0; i < specs.size(); ++i) validate_spec(specs[i], i);
+}
+
 std::unique_ptr<adversary::Adversary> make_owner(const ScenarioSpec& spec) {
   const std::uint64_t seed = scenario_stream_seed(spec);
   switch (spec.owner) {
@@ -108,7 +112,11 @@ std::uint64_t scenario_stream_seed(const ScenarioSpec& spec) {
 }
 
 BatchRunner::BatchRunner(BatchOptions options)
-    : options_(options), cache_(options.cache) {}
+    // With an external shared cache the private one is never consulted, so
+    // build it minimal (one stripe, zero budget) instead of at full width.
+    : options_(options),
+      cache_(options.shared_cache != nullptr ? solver::SolveCache::Options{1, 0}
+                                             : options.cache) {}
 
 SessionMetrics BatchRunner::run_one(const ScenarioSpec& spec) {
   // Solves inside the batch never touch the pool: run_dag is not reentrant
@@ -116,7 +124,8 @@ SessionMetrics BatchRunner::run_one(const ScenarioSpec& spec) {
   std::shared_ptr<const SchedulingPolicy> policy;
   if (spec.policy == PolicyKind::kDpOptimal && options_.cache_enabled) {
     const solver::SolveRequest req{spec.max_interrupts, spec.lifespan, spec.params};
-    policy = std::make_shared<solver::OptimalPolicy>(cache_.get_or_solve(req, nullptr));
+    policy = std::make_shared<solver::OptimalPolicy>(
+        active_cache().get_or_solve(req, nullptr));
   } else {
     policy = make_policy(spec);
   }
@@ -127,7 +136,7 @@ SessionMetrics BatchRunner::run_one(const ScenarioSpec& spec) {
 }
 
 BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
-  for (std::size_t i = 0; i < specs.size(); ++i) validate_spec(specs[i], i);
+  validate_batch_specs(specs);
 
   BatchResult result;
   result.scenarios = specs.size();
@@ -146,7 +155,7 @@ BatchResult BatchRunner::run(const std::vector<ScenarioSpec>& specs) {
   }
 
   for (const SessionMetrics& m : result.per_scenario) result.aggregate.merge(m);
-  result.cache = cache_.stats();
+  result.cache = active_cache().stats();
   return result;
 }
 

@@ -96,6 +96,13 @@ struct BatchOptions {
   /// "naive per-session re-solving" baseline E13 measures against.
   bool cache_enabled = true;
   solver::SolveCache::Options cache;
+  /// When non-null, dp-optimal solves go through this externally owned cache
+  /// instead of the runner's private one, and `cache` is ignored. This is
+  /// how service::SchedulerService layers per-tenant byte quotas on the
+  /// batch engine: one quota-budgeted cache per tenant, shared by every job
+  /// the tenant runs. The cache must outlive the runner; cache_enabled
+  /// still gates whether ANY cache is consulted.
+  solver::SolveCache* shared_cache = nullptr;
 };
 
 struct BatchResult {
@@ -119,14 +126,26 @@ class BatchRunner {
   /// second run() over similar specs starts warm.
   BatchResult run(const std::vector<ScenarioSpec>& specs);
 
-  const solver::SolveCache& cache() const noexcept { return cache_; }
+  /// The cache this runner's dp-optimal solves go through: the external
+  /// shared cache when BatchOptions::shared_cache is set, else the private
+  /// one.
+  const solver::SolveCache& cache() const noexcept { return active_cache(); }
 
  private:
   SessionMetrics run_one(const ScenarioSpec& spec);
+  solver::SolveCache& active_cache() const noexcept {
+    return options_.shared_cache != nullptr ? *options_.shared_cache : cache_;
+  }
 
   BatchOptions options_;
-  solver::SolveCache cache_;
+  mutable solver::SolveCache cache_;
 };
+
+/// Validates every spec exactly like BatchRunner::run does up front: throws
+/// std::invalid_argument naming the first invalid index. Exposed so the
+/// service layer can reject a malformed scenario at admission time (with the
+/// reason in the submit status) instead of poisoning a queued job.
+void validate_batch_specs(const std::vector<ScenarioSpec>& specs);
 
 /// Derives the deterministic adversary seed of `spec` (exposed so tests can
 /// reproduce a batch entry with sim::run_session directly).

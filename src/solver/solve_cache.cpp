@@ -33,6 +33,31 @@ SolveCache::SolveCache(Options options)
   // An even slice per shard. A slice of 0 is legal: each shard then retains
   // only its most recently finished table (the `keep` guarantee).
   per_shard_budget_ = options.max_bytes / shards_.size();
+  max_bytes_ = options.max_bytes;
+}
+
+void SolveCache::set_max_bytes(std::size_t max_bytes) {
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  per_shard_budget_.store(max_bytes / shards_.size(), std::memory_order_relaxed);
+  // Shrinks must take effect now, not on the next completion: walk every
+  // shard and evict down to the new slice, keeping each shard's most
+  // recently used finished table (same guarantee the completion path gives).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock<std::mutex> guard(stripes_.stripe(i));
+    Shard& shard = shards_[i];
+    bool found = false;
+    SolveKey keep;
+    std::uint64_t newest = 0;
+    for (const auto& [key, entry] : shard.map) {
+      if (entry.bytes == 0) continue;  // in-flight: not evictable anyway
+      if (!found || entry.last_used > newest) {
+        keep = key;
+        newest = entry.last_used;
+        found = true;
+      }
+    }
+    if (found) evict_excess_locked(shard, keep);
+  }
 }
 
 std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& req,
@@ -110,7 +135,8 @@ void SolveCache::evict_excess_locked(Shard& shard, const SolveKey& keep) {
   // its size is still unknown), and `keep` — the table whose completion
   // triggered this pass — always survives, so a single oversized table
   // parks in its shard instead of thrashing.
-  while (shard.bytes > per_shard_budget_) {
+  const std::size_t budget = per_shard_budget_.load(std::memory_order_relaxed);
+  while (shard.bytes > budget) {
     auto victim = shard.map.end();
     for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
       if (it->second.bytes == 0 || it->first == keep) continue;

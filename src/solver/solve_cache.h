@@ -141,6 +141,21 @@ class SolveCache {
   /// on arrival). Counters are NOT reset — they are lifetime totals.
   void clear();
 
+  /// Re-budgets the cache to `max_bytes` total (re-split evenly across
+  /// shards) and immediately evicts LRU finished tables in every shard that
+  /// no longer fits its slice. The keep-newest guarantee survives a shrink:
+  /// each shard retains its most recently used finished table even when that
+  /// table alone exceeds the new slice, so resizing to 0 degrades to
+  /// one-table-per-shard rather than an always-cold cache. Growing never
+  /// evicts. Thread-safe against concurrent get_or_solve/stats/clear; the
+  /// service layer calls this for live per-tenant quota changes.
+  void set_max_bytes(std::size_t max_bytes);
+
+  /// Current total byte budget (as set by Options or set_max_bytes).
+  std::size_t max_bytes() const noexcept {
+    return max_bytes_.load(std::memory_order_relaxed);
+  }
+
   std::size_t shard_count() const noexcept { return stripes_.stripes(); }
 
  private:
@@ -175,7 +190,12 @@ class SolveCache {
   // mutable: stats() is logically const but must lock shard stripes.
   mutable util::StripedMutex stripes_;
   std::vector<Shard> shards_;
-  std::size_t per_shard_budget_;
+  // Atomic because set_max_bytes rewrites the budget while other threads
+  // read it inside evict_excess_locked under their own stripe lock (relaxed
+  // is enough: eviction against a slightly stale budget is corrected by the
+  // resize's own per-shard eviction pass).
+  std::atomic<std::size_t> per_shard_budget_;
+  std::atomic<std::size_t> max_bytes_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

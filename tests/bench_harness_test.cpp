@@ -38,10 +38,10 @@ std::string fresh_outdir(const std::string& name) {
   return dir;
 }
 
-TEST(Registry, KnowsAllFourteenExperimentsInOrder) {
+TEST(Registry, KnowsAllFifteenExperimentsInOrder) {
   register_all_experiments();
   const auto& registry = Registry::instance();
-  ASSERT_EQ(registry.size(), 14u);
+  ASSERT_EQ(registry.size(), 15u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const Experiment& e = registry.experiments()[i];
     EXPECT_EQ(e.id, "E" + std::to_string(i + 1));
@@ -54,7 +54,8 @@ TEST(Registry, KnowsAllFourteenExperimentsInOrder) {
   EXPECT_NE(registry.find("E5"), nullptr);
   EXPECT_EQ(registry.find("E5"), registry.find("adaptive_vs_optimal"));
   EXPECT_EQ(registry.find("E14"), registry.find("scenario_sweep"));
-  EXPECT_EQ(registry.find("E15"), nullptr);
+  EXPECT_EQ(registry.find("E15"), registry.find("sched_service"));
+  EXPECT_EQ(registry.find("E16"), nullptr);
   EXPECT_EQ(registry.find(""), nullptr);
 }
 
@@ -62,9 +63,9 @@ TEST(Registry, RegistrationIsIdempotentAndRejectsDuplicates) {
   register_all_experiments();
   register_all_experiments();  // second call must be a no-op
   auto& registry = Registry::instance();
-  EXPECT_EQ(registry.size(), 14u);
+  EXPECT_EQ(registry.size(), 15u);
   EXPECT_THROW(registry.add(registry.experiments()[0]), std::logic_error);
-  EXPECT_EQ(registry.size(), 14u);
+  EXPECT_EQ(registry.size(), 15u);
 }
 
 TEST(Tier, ParsesQuickAndFullSpellings) {

@@ -1,0 +1,457 @@
+// service::SchedulerService — the deterministic half of the service battery:
+// manual-mode (workers == 0) scheduling-order tests per queue policy,
+// admission/backpressure rejection paths, per-tenant cache quota isolation
+// and live resize, drain/shutdown semantics, and stats conservation laws.
+// Every assertion is an ordering or counting fact — never a timing one
+// (tests/service_stress_test.cpp adds the multi-threaded TSan half).
+#include "service/scheduler_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nowsched::service {
+namespace {
+
+// A cheap, valid scenario: closed-form policy (no solve), short lifespan.
+sim::ScenarioSpec quick_spec(std::uint64_t seed) {
+  sim::ScenarioSpec spec;
+  spec.policy = sim::PolicyKind::kEqualized;
+  spec.owner = sim::OwnerKind::kPoisson;
+  spec.owner_a = 500.0;
+  spec.params = Params{16};
+  spec.lifespan = 512;
+  spec.max_interrupts = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+// A dp-optimal scenario — the kind that exercises the tenant's SolveCache.
+// Distinct `lifespan` values produce distinct canonical solve keys.
+sim::ScenarioSpec dp_spec(Ticks lifespan, std::uint64_t seed) {
+  sim::ScenarioSpec spec = quick_spec(seed);
+  spec.policy = sim::PolicyKind::kDpOptimal;
+  spec.lifespan = lifespan;
+  return spec;
+}
+
+std::vector<sim::ScenarioSpec> quick_batch(std::size_t n, std::uint64_t seed0) {
+  std::vector<sim::ScenarioSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) specs.push_back(quick_spec(seed0 + i));
+  return specs;
+}
+
+ServiceOptions manual_options(QueueKind queue, std::size_t quantum = 1) {
+  ServiceOptions options;
+  options.workers = 0;  // manual mode: run_next() drives deterministically
+  options.queue = queue;
+  options.drr_quantum = quantum;
+  return options;
+}
+
+// Checks the per-tenant and global conservation laws the stats snapshot
+// promises. Holds at ANY quiescent point (and under load for the sums).
+void expect_conservation(const ServiceStats& stats) {
+  std::uint64_t sum_submitted = 0, sum_accepted = 0, sum_rejected = 0;
+  for (const TenantStats& t : stats.tenants) {
+    EXPECT_EQ(t.submitted_jobs, t.accepted_jobs + t.rejected_total()) << t.tenant;
+    EXPECT_EQ(t.accepted_jobs, t.completed_jobs + t.failed_jobs +
+                                   t.cancelled_jobs + t.queued_jobs +
+                                   t.inflight_jobs)
+        << t.tenant;
+    sum_submitted += t.submitted_jobs;
+    sum_accepted += t.accepted_jobs;
+    sum_rejected += t.rejected_total();
+  }
+  EXPECT_EQ(stats.submitted_jobs, sum_submitted);
+  EXPECT_EQ(stats.accepted_jobs, sum_accepted);
+  EXPECT_EQ(stats.rejected_jobs, sum_rejected);
+}
+
+TEST(SchedulerService, ManualModeRunsASubmittedJobToCompletion) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  Submission sub = service.submit("alice", quick_batch(3, 100));
+  ASSERT_TRUE(sub.accepted());
+  EXPECT_EQ(sub.job_id, 1u);
+  EXPECT_TRUE(sub.result.valid());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queued_jobs, 1u);
+  ASSERT_NE(stats.tenant("alice"), nullptr);
+  EXPECT_EQ(stats.tenant("alice")->pending_scenarios, 3u);
+
+  EXPECT_TRUE(service.run_next());
+  EXPECT_FALSE(service.run_next());  // queue is empty now
+
+  JobResult result = sub.result.get();
+  EXPECT_EQ(result.tenant, "alice");
+  EXPECT_EQ(result.job_id, 1u);
+  EXPECT_EQ(result.completion_index, 0u);
+  EXPECT_EQ(result.batch.per_scenario.size(), 3u);
+  EXPECT_GT(result.batch.aggregate.lifespan_used, 0);
+
+  stats = service.stats();
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.tenant("alice")->completed_jobs, 1u);
+  EXPECT_EQ(stats.tenant("alice")->completed_scenarios, 3u);
+  expect_conservation(stats);
+}
+
+TEST(SchedulerService, FifoCompletionOrderIsAdmissionOrder) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  std::vector<Submission> subs;
+  subs.push_back(service.submit("a", quick_batch(1, 1)));
+  subs.push_back(service.submit("b", quick_batch(1, 2)));
+  subs.push_back(service.submit("a", quick_batch(1, 3)));
+  subs.push_back(service.submit("c", quick_batch(1, 4)));
+  service.drain();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].result.get().completion_index, i) << i;
+  }
+}
+
+TEST(SchedulerService, DrrInterleavesEqualCostTenantsRoundRobin) {
+  // A bursts three 1-spec jobs before B's three: DRR still alternates
+  // A B A B A B (quantum 1) — the service-level replay of the queue test.
+  SchedulerService service(manual_options(QueueKind::kDeficitRoundRobin, 1));
+  std::vector<Submission> a_subs, b_subs;
+  for (int i = 0; i < 3; ++i) a_subs.push_back(service.submit("a", quick_batch(1, 10 + i)));
+  for (int i = 0; i < 3; ++i) b_subs.push_back(service.submit("b", quick_batch(1, 20 + i)));
+  service.drain();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a_subs[i].result.get().completion_index, 2 * i) << i;
+    EXPECT_EQ(b_subs[i].result.get().completion_index, 2 * i + 1) << i;
+  }
+}
+
+TEST(SchedulerService, DrrMetersByScenarioCostNotJobCount) {
+  // A: two 3-scenario jobs; B: six 1-scenario jobs; quantum 1. Expected
+  // completion order (hand-traced DRR): B B A B B B A B — indices below.
+  SchedulerService service(manual_options(QueueKind::kDeficitRoundRobin, 1));
+  std::vector<Submission> a_subs, b_subs;
+  a_subs.push_back(service.submit("a", quick_batch(3, 100)));
+  a_subs.push_back(service.submit("a", quick_batch(3, 200)));
+  for (int i = 0; i < 6; ++i) b_subs.push_back(service.submit("b", quick_batch(1, 300 + i)));
+  service.drain();
+  EXPECT_EQ(a_subs[0].result.get().completion_index, 2u);
+  EXPECT_EQ(a_subs[1].result.get().completion_index, 6u);
+  const std::vector<std::uint64_t> b_expected = {0, 1, 3, 4, 5, 7};
+  for (std::size_t i = 0; i < b_subs.size(); ++i) {
+    EXPECT_EQ(b_subs[i].result.get().completion_index, b_expected[i]) << i;
+  }
+}
+
+TEST(SchedulerService, FifoIsTenantBlindUnderTheSameSkew) {
+  // Same submission pattern as the DRR cost test, FIFO queue: A's burst
+  // runs first in admission order — the unfairness DRR exists to fix.
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  std::vector<Submission> subs;
+  subs.push_back(service.submit("a", quick_batch(3, 100)));
+  subs.push_back(service.submit("a", quick_batch(3, 200)));
+  for (int i = 0; i < 6; ++i) subs.push_back(service.submit("b", quick_batch(1, 300 + i)));
+  service.drain();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].result.get().completion_index, i) << i;
+  }
+}
+
+TEST(SchedulerService, TenantQueueDepthLimitRejectsWithReason) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.max_queued_jobs_per_tenant = 2;
+  SchedulerService service(options);
+  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
+  ASSERT_TRUE(service.submit("a", quick_batch(1, 2)).accepted());
+
+  Submission rejected = service.submit("a", quick_batch(1, 3));
+  EXPECT_EQ(rejected.status, SubmitStatus::kQueueFullTenant);
+  EXPECT_TRUE(is_backpressure(rejected.status));
+  EXPECT_FALSE(rejected.reason.empty());
+  EXPECT_EQ(rejected.job_id, 0u);
+  EXPECT_FALSE(rejected.result.valid());
+
+  // Another tenant is unaffected by a's limit.
+  EXPECT_TRUE(service.submit("b", quick_batch(1, 4)).accepted());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenant("a")->rejected_tenant_full, 1u);
+  EXPECT_EQ(stats.tenant("a")->submitted_jobs, 3u);
+  EXPECT_EQ(stats.tenant("a")->accepted_jobs, 2u);
+  expect_conservation(stats);
+  service.drain();
+}
+
+TEST(SchedulerService, GlobalQueueDepthLimitRejectsAnyTenant) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.max_queued_jobs_total = 2;
+  SchedulerService service(options);
+  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
+  ASSERT_TRUE(service.submit("b", quick_batch(1, 2)).accepted());
+
+  Submission rejected = service.submit("c", quick_batch(1, 3));
+  EXPECT_EQ(rejected.status, SubmitStatus::kQueueFullGlobal);
+  EXPECT_TRUE(is_backpressure(rejected.status));
+  EXPECT_EQ(service.stats().tenant("c")->rejected_global_full, 1u);
+  expect_conservation(service.stats());
+  service.drain();
+}
+
+TEST(SchedulerService, ScenarioBudgetThrottlesBigBatches) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.max_pending_scenarios_per_tenant = 4;
+  SchedulerService service(options);
+  ASSERT_TRUE(service.submit("a", quick_batch(3, 1)).accepted());
+
+  Submission throttled = service.submit("a", quick_batch(3, 10));
+  EXPECT_EQ(throttled.status, SubmitStatus::kThrottled);
+  EXPECT_TRUE(is_backpressure(throttled.status));
+  // A batch that still fits the budget is fine (3 pending + 1 <= 4)...
+  EXPECT_TRUE(service.submit("a", quick_batch(1, 20)).accepted());
+  // ...and now the budget is exactly exhausted.
+  EXPECT_EQ(service.submit("a", quick_batch(1, 30)).status, SubmitStatus::kThrottled);
+  EXPECT_EQ(service.stats().tenant("a")->rejected_throttled, 2u);
+  service.drain();
+}
+
+TEST(SchedulerService, BackpressureRetrySucceedsAfterCapacityFrees) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.max_queued_jobs_per_tenant = 1;
+  SchedulerService service(options);
+  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
+  Submission rejected = service.submit("a", quick_batch(1, 2));
+  ASSERT_TRUE(is_backpressure(rejected.status));
+
+  ASSERT_TRUE(service.run_next());  // frees the tenant's queue slot
+  Submission retry = service.submit("a", quick_batch(1, 2));
+  EXPECT_TRUE(retry.accepted());
+  service.drain();
+  EXPECT_EQ(retry.result.get().completion_index, 1u);
+  expect_conservation(service.stats());
+}
+
+TEST(SchedulerService, InvalidScenarioRejectedAtAdmission) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+
+  std::vector<sim::ScenarioSpec> bad = quick_batch(2, 1);
+  bad[1].params = Params{0};  // invalid setup cost
+  Submission invalid = service.submit("a", std::move(bad));
+  EXPECT_EQ(invalid.status, SubmitStatus::kInvalidScenario);
+  EXPECT_FALSE(is_backpressure(invalid.status));
+  EXPECT_NE(invalid.reason.find("#1"), std::string::npos) << invalid.reason;
+
+  Submission empty = service.submit("a", {});
+  EXPECT_EQ(empty.status, SubmitStatus::kInvalidScenario);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queued_jobs, 0u);  // nothing poisoned the queue
+  EXPECT_EQ(stats.tenant("a")->rejected_invalid, 2u);
+  expect_conservation(stats);
+}
+
+TEST(SchedulerService, EmptyTenantIdIsACallerBug) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  EXPECT_THROW((void)service.submit("", quick_batch(1, 1)), std::invalid_argument);
+  EXPECT_THROW(service.set_tenant_quota("", 1024), std::invalid_argument);
+}
+
+TEST(SchedulerService, RunNextThrowsWhenServiceOwnsWorkers) {
+  ServiceOptions options;
+  options.workers = 1;
+  SchedulerService service(options);
+  EXPECT_THROW((void)service.run_next(), std::logic_error);
+  service.shutdown();
+}
+
+TEST(SchedulerService, ShutdownDrainCompletesQueuedWork) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  Submission a = service.submit("a", quick_batch(1, 1));
+  Submission b = service.submit("b", quick_batch(2, 2));
+  service.shutdown(SchedulerService::StopMode::kDrain);
+
+  EXPECT_EQ(a.result.get().completion_index, 0u);
+  EXPECT_EQ(b.result.get().batch.per_scenario.size(), 2u);
+
+  Submission late = service.submit("a", quick_batch(1, 3));
+  EXPECT_EQ(late.status, SubmitStatus::kShuttingDown);
+  EXPECT_FALSE(is_backpressure(late.status));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, 2u);
+  EXPECT_EQ(stats.tenant("a")->rejected_shutdown, 1u);
+  expect_conservation(stats);
+}
+
+TEST(SchedulerService, ShutdownCancelFailsQueuedFutures) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  Submission done = service.submit("a", quick_batch(1, 1));
+  ASSERT_TRUE(service.run_next());
+  Submission q1 = service.submit("a", quick_batch(1, 2));
+  Submission q2 = service.submit("b", quick_batch(1, 3));
+  service.shutdown(SchedulerService::StopMode::kCancelQueued);
+
+  EXPECT_EQ(done.result.get().completion_index, 0u);  // completed work stands
+  EXPECT_THROW((void)q1.result.get(), std::runtime_error);
+  EXPECT_THROW((void)q2.result.get(), std::runtime_error);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, 1u);
+  EXPECT_EQ(stats.cancelled_jobs, 2u);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  expect_conservation(stats);
+
+  service.shutdown();  // idempotent, any mode
+}
+
+TEST(SchedulerService, WorkerModeCompletesEverythingOnDrain) {
+  ServiceOptions options;
+  options.workers = 3;
+  SchedulerService service(options);
+  std::vector<Submission> subs;
+  for (int i = 0; i < 12; ++i) {
+    subs.push_back(service.submit(i % 2 == 0 ? "even" : "odd", quick_batch(2, 1000 + i)));
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, 12u);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.inflight_jobs, 0u);
+  expect_conservation(stats);
+
+  // completion_index values are a permutation of 0..11 (each assigned once
+  // under the service lock) even though worker timing is nondeterministic.
+  std::vector<bool> seen(subs.size(), false);
+  for (Submission& sub : subs) {
+    const JobResult result = sub.result.get();
+    ASSERT_LT(result.completion_index, seen.size());
+    EXPECT_FALSE(seen[result.completion_index]);
+    seen[result.completion_index] = true;
+    EXPECT_EQ(result.batch.per_scenario.size(), 2u);
+  }
+  service.shutdown();
+}
+
+TEST(SchedulerService, QuotaIsolationHostileTenantCannotEvictQuietTenant) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.tenant_cache_shards = 1;            // one shard: eviction observable
+  options.default_tenant_quota_bytes = 6000;  // holds ~1 of the hog's tables
+  SchedulerService service(options);
+
+  // quiet warms its cache with one dp table...
+  Submission warm = service.submit("quiet", {dp_spec(512, 1)});
+  ASSERT_TRUE(warm.accepted());
+  service.drain();
+
+  // ...then hog churns through many DISTINCT tables inside its own quota.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.submit("hog", {dp_spec(512 + 128 * i, 50 + i)}).accepted());
+  }
+  service.drain();
+
+  // quiet re-runs the same contract: must be a pure cache hit.
+  Submission again = service.submit("quiet", {dp_spec(512, 2)});
+  ASSERT_TRUE(again.accepted());
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  const TenantStats* quiet = stats.tenant("quiet");
+  const TenantStats* hog = stats.tenant("hog");
+  ASSERT_NE(quiet, nullptr);
+  ASSERT_NE(hog, nullptr);
+  EXPECT_EQ(quiet->cache.misses, 1u);  // second run re-used the table
+  EXPECT_EQ(quiet->cache.hits, 1u);
+  EXPECT_EQ(quiet->cache.evictions, 0u);   // hog's churn never touched quiet
+  EXPECT_GT(hog->cache.evictions, 0u);     // hog really did churn
+  EXPECT_LE(hog->cache.resident_bytes, quiet->cache.resident_bytes * 2 + 6000);
+}
+
+TEST(SchedulerService, ZeroQuotaTenantStillCompletesJobs) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.tenant_cache_shards = 1;
+  SchedulerService service(options);
+  service.set_tenant_quota("z", 0);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.submit("z", {dp_spec(256 + 64 * i, 7 + i)}).accepted());
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();  // keep the snapshot alive
+  const TenantStats* z = stats.tenant("z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->quota_bytes, 0u);
+  EXPECT_EQ(z->completed_jobs, 3u);
+  // Keep-newest degrades a zero quota to one table per shard, never zero.
+  EXPECT_EQ(z->cache.entries, 1u);
+  EXPECT_GE(z->cache.evictions, 2u);
+}
+
+TEST(SchedulerService, QuotaResizeShrinksLiveCacheAndGrowKeepsTables) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.tenant_cache_shards = 1;
+  options.default_tenant_quota_bytes = 1u << 20;  // roomy: all tables resident
+  SchedulerService service(options);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.submit("t", {dp_spec(256 + 128 * i, 90 + i)}).accepted());
+  }
+  service.drain();
+  const std::size_t resident_before = service.stats().tenant("t")->cache.resident_bytes;
+  EXPECT_EQ(service.stats().tenant("t")->cache.entries, 4u);
+
+  service.set_tenant_quota("t", 1);  // shrink: evict down, keep newest
+  const ServiceStats shrunk = service.stats();  // keep the snapshot alive
+  const TenantStats* after = shrunk.tenant("t");
+  EXPECT_EQ(after->quota_bytes, 1u);
+  EXPECT_EQ(after->cache.entries, 1u);
+  EXPECT_LT(after->cache.resident_bytes, resident_before);
+
+  service.set_tenant_quota("t", 1u << 20);  // grow: nothing more evicted
+  EXPECT_EQ(service.stats().tenant("t")->cache.entries, 1u);
+  EXPECT_EQ(service.stats().tenant("t")->cache.evictions, 3u);
+}
+
+TEST(SchedulerService, LatencyStatsCountCompletionsAndStayOrdered) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.latency_window = 4;  // smaller than the completion count
+  SchedulerService service(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.submit("a", quick_batch(1, 500 + i)).accepted());
+  }
+  service.drain();
+
+  const ServiceStats stats = service.stats();  // keep the snapshot alive
+  const TenantStats* a = stats.tenant("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->completed_jobs, 6u);
+  // The ring keeps the last `latency_window` samples; only ORDER is
+  // asserted about the values themselves (deflake discipline).
+  EXPECT_EQ(a->latency.count, 4u);
+  EXPECT_LE(a->latency.p50_ms, a->latency.p90_ms);
+  EXPECT_LE(a->latency.p90_ms, a->latency.p99_ms);
+  EXPECT_LE(a->latency.p99_ms, a->latency.max_ms);
+  EXPECT_GE(a->latency.p50_ms, 0.0);
+}
+
+TEST(SchedulerService, StatsListsTenantsSortedAndSumsMatch) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  ASSERT_TRUE(service.submit("zeta", quick_batch(1, 1)).accepted());
+  ASSERT_TRUE(service.submit("alpha", quick_batch(2, 2)).accepted());
+  ASSERT_TRUE(service.submit("mid", quick_batch(3, 3)).accepted());
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.tenants.size(), 3u);
+  EXPECT_EQ(stats.tenants[0].tenant, "alpha");
+  EXPECT_EQ(stats.tenants[1].tenant, "mid");
+  EXPECT_EQ(stats.tenants[2].tenant, "zeta");
+  EXPECT_EQ(stats.completed_scenarios, 6u);
+  EXPECT_EQ(stats.queue_policy, "fifo");
+  EXPECT_EQ(stats.workers, 0u);
+  expect_conservation(stats);
+}
+
+}  // namespace
+}  // namespace nowsched::service

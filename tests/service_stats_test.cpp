@@ -1,0 +1,117 @@
+// service stats helpers — pure-function tests on FIXED samples (the deflake
+// anchor: percentile math is pinned here on explicit vectors, so the service
+// and stress tests never need to assert a timing value).
+#include "service/service_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace nowsched::service {
+namespace {
+
+TEST(SummarizeLatency, FixedHundredSamplesInterpolatedQuantiles) {
+  std::vector<double> ms;
+  for (int i = 1; i <= 100; ++i) ms.push_back(static_cast<double>(i));
+  const LatencySummary s = summarize_latency(ms);
+  EXPECT_EQ(s.count, 100u);
+  // util::Summary interpolates at q*(n-1): p50 -> 50.5, p90 -> 90.1,
+  // p99 -> 99.01.
+  EXPECT_DOUBLE_EQ(s.p50_ms, 50.5);
+  EXPECT_DOUBLE_EQ(s.p90_ms, 90.1);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 99.01);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+}
+
+TEST(SummarizeLatency, OrderInsensitiveAndEdgeCases) {
+  std::vector<double> ms = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const LatencySummary sorted_in = summarize_latency({1.0, 2.0, 3.0, 4.0, 5.0});
+  const LatencySummary shuffled_in = summarize_latency(ms);
+  EXPECT_DOUBLE_EQ(sorted_in.p50_ms, shuffled_in.p50_ms);
+  EXPECT_DOUBLE_EQ(sorted_in.p99_ms, shuffled_in.p99_ms);
+
+  const LatencySummary empty = summarize_latency({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_ms, 0.0);
+
+  const LatencySummary one = summarize_latency({7.25});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.p50_ms, 7.25);
+  EXPECT_DOUBLE_EQ(one.p99_ms, 7.25);
+  EXPECT_DOUBLE_EQ(one.max_ms, 7.25);
+}
+
+TEST(SummarizeLatency, QuantilesAreOrdered) {
+  const std::vector<double> ms = {12.0, 3.0, 44.0, 0.5, 19.0, 19.0, 7.5};
+  const LatencySummary s = summarize_latency(ms);
+  EXPECT_LE(s.p50_ms, s.p90_ms);
+  EXPECT_LE(s.p90_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms);
+  EXPECT_DOUBLE_EQ(s.max_ms, 44.0);
+}
+
+TEST(JainsFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jains_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_fairness({8.0, 0.0, 0.0, 0.0}), 0.25);  // 1/n
+  EXPECT_DOUBLE_EQ(jains_fairness({1.0, 2.0, 3.0}), 36.0 / 42.0);
+  EXPECT_DOUBLE_EQ(jains_fairness({3.0}), 1.0);
+  // Defined corners: nothing allocated is not unfair.
+  EXPECT_DOUBLE_EQ(jains_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainsFairness, ScaleInvariantAndBounded) {
+  const std::vector<double> x = {1.0, 4.0, 2.0, 9.0};
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(v * 1000.0);
+  EXPECT_NEAR(jains_fairness(x), jains_fairness(scaled), 1e-12);
+  EXPECT_GT(jains_fairness(x), 1.0 / 4.0);
+  EXPECT_LT(jains_fairness(x), 1.0);
+}
+
+TEST(LatencyRing, FillsThenOverwritesOldest) {
+  LatencyRing ring(3);
+  for (double v : {1.0, 2.0, 3.0}) ring.add(v);
+  EXPECT_EQ(ring.recorded(), 3u);
+  std::vector<double> got = ring.samples();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+
+  ring.add(4.0);  // displaces 1.0 (the oldest)
+  ring.add(5.0);  // displaces 2.0
+  EXPECT_EQ(ring.recorded(), 5u);
+  got = ring.samples();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<double>{3.0, 4.0, 5.0}));
+}
+
+TEST(LatencyRing, CapacityClampsToOne) {
+  LatencyRing ring(0);
+  ring.add(1.0);
+  ring.add(2.0);
+  EXPECT_EQ(ring.recorded(), 2u);
+  EXPECT_EQ(ring.samples(), std::vector<double>{2.0});
+}
+
+TEST(ServiceStats, TenantLookupAndRejectedTotal) {
+  ServiceStats stats;
+  TenantStats a;
+  a.tenant = "alpha";
+  a.rejected_tenant_full = 2;
+  a.rejected_throttled = 1;
+  a.rejected_shutdown = 4;
+  TenantStats b;
+  b.tenant = "beta";
+  stats.tenants = {a, b};
+
+  ASSERT_NE(stats.tenant("alpha"), nullptr);
+  EXPECT_EQ(stats.tenant("alpha")->rejected_total(), 7u);
+  ASSERT_NE(stats.tenant("beta"), nullptr);
+  EXPECT_EQ(stats.tenant("beta")->rejected_total(), 0u);
+  EXPECT_EQ(stats.tenant("gamma"), nullptr);
+}
+
+}  // namespace
+}  // namespace nowsched::service

@@ -1,0 +1,267 @@
+// service::SchedulerService under real concurrency — the TSan half of the
+// battery (CI runs this suite with -DNOWSCHED_TSAN=ON). Assertions follow
+// the deflake discipline: conservation laws, permutation/ordering facts, and
+// bit-determinism of a canary scenario — never timing values, never "thread
+// X won" expectations.
+#include "service/scheduler_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/batch_runner.h"
+#include "sim/metrics.h"
+
+namespace nowsched::service {
+namespace {
+
+sim::ScenarioSpec quick_spec(std::uint64_t seed) {
+  sim::ScenarioSpec spec;
+  spec.policy = sim::PolicyKind::kEqualized;
+  spec.owner = sim::OwnerKind::kPoisson;
+  spec.owner_a = 400.0;
+  spec.params = Params{16};
+  spec.lifespan = 256;
+  spec.max_interrupts = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+sim::ScenarioSpec dp_spec(Ticks lifespan, std::uint64_t seed) {
+  sim::ScenarioSpec spec = quick_spec(seed);
+  spec.policy = sim::PolicyKind::kDpOptimal;
+  spec.lifespan = lifespan;
+  return spec;
+}
+
+void expect_metrics_eq(const sim::SessionMetrics& got,
+                       const sim::SessionMetrics& want) {
+  EXPECT_EQ(got.banked_work, want.banked_work);
+  EXPECT_EQ(got.task_work, want.task_work);
+  EXPECT_EQ(got.comm_overhead, want.comm_overhead);
+  EXPECT_EQ(got.lost_work, want.lost_work);
+  EXPECT_EQ(got.salvaged_work, want.salvaged_work);
+  EXPECT_EQ(got.fragmentation, want.fragmentation);
+  EXPECT_EQ(got.lifespan_used, want.lifespan_used);
+  EXPECT_EQ(got.interrupts, want.interrupts);
+  EXPECT_EQ(got.episodes, want.episodes);
+  EXPECT_EQ(got.periods_completed, want.periods_completed);
+  EXPECT_EQ(got.periods_killed, want.periods_killed);
+  EXPECT_EQ(got.tasks_completed, want.tasks_completed);
+}
+
+TEST(SchedulerServiceStress, ConcurrentSubmittersConserveEveryCounter) {
+  ServiceOptions options;
+  options.workers = 3;
+  options.queue = QueueKind::kDeficitRoundRobin;
+  options.drr_quantum = 2;
+  // Tight limits so the backpressure paths genuinely fire under the race.
+  options.max_queued_jobs_per_tenant = 4;
+  options.max_queued_jobs_total = 10;
+  options.max_pending_scenarios_per_tenant = 12;
+  SchedulerService service(options);
+
+  constexpr int kSubmitters = 6;
+  constexpr int kPerThread = 40;
+  std::atomic<std::uint64_t> accepted{0}, rejected{0}, invalid{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&service, &accepted, &rejected, &invalid, t] {
+      std::vector<std::future<JobResult>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string tenant = "tenant-" + std::to_string(t % 3);
+        std::vector<sim::ScenarioSpec> specs;
+        const int n = 1 + (t + i) % 3;
+        for (int k = 0; k < n; ++k) {
+          specs.push_back(quick_spec(static_cast<std::uint64_t>(t * 1000 + i * 10 + k)));
+        }
+        if (i % 10 == 9) specs[0].params = Params{0};  // exercise the invalid path
+        Submission sub = service.submit(tenant, std::move(specs));
+        if (sub.accepted()) {
+          ++accepted;
+          futures.push_back(std::move(sub.result));
+        } else if (sub.status == SubmitStatus::kInvalidScenario) {
+          ++invalid;
+        } else {
+          ASSERT_TRUE(is_backpressure(sub.status)) << to_string(sub.status);
+          ++rejected;
+        }
+      }
+      for (auto& f : futures) {
+        const JobResult result = f.get();  // every accepted job resolves
+        ASSERT_FALSE(result.batch.per_scenario.empty());
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted_jobs,
+            static_cast<std::uint64_t>(kSubmitters) * kPerThread);
+  EXPECT_EQ(stats.accepted_jobs, accepted.load());
+  EXPECT_EQ(stats.rejected_jobs, rejected.load() + invalid.load());
+  EXPECT_EQ(stats.completed_jobs, accepted.load());
+  EXPECT_EQ(stats.failed_jobs, 0u);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.inflight_jobs, 0u);
+  std::uint64_t invalid_sum = 0, completed_scenarios = 0, submitted_scenarios = 0;
+  for (const TenantStats& t : stats.tenants) {
+    EXPECT_EQ(t.submitted_jobs, t.accepted_jobs + t.rejected_total()) << t.tenant;
+    EXPECT_EQ(t.accepted_jobs, t.completed_jobs) << t.tenant;
+    EXPECT_EQ(t.pending_scenarios, 0u) << t.tenant;
+    invalid_sum += t.rejected_invalid;
+    completed_scenarios += t.completed_scenarios;
+    submitted_scenarios += t.submitted_scenarios;
+  }
+  EXPECT_EQ(invalid_sum, invalid.load());
+  EXPECT_EQ(completed_scenarios, submitted_scenarios);  // everything accepted ran
+  service.shutdown();
+}
+
+TEST(SchedulerServiceStress, CanaryScenarioIsBitDeterministicUnderLoad) {
+  // One fixed scenario submitted from many racing threads, amid unrelated
+  // load: every copy's metrics must equal the direct BatchRunner result
+  // field for field — scheduling decides WHEN, never WHAT.
+  const sim::ScenarioSpec canary = dp_spec(384, 0xCA7A);
+  sim::BatchRunner reference;
+  const sim::SessionMetrics want = reference.run({canary}).per_scenario.at(0);
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue = QueueKind::kDeficitRoundRobin;
+  SchedulerService service(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &canary, &want, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Interleave noise jobs from a different tenant and contract.
+        (void)service.submit("noise",
+                             {dp_spec(256 + 16 * ((t + i) % 4),
+                                      static_cast<std::uint64_t>(t * 100 + i))});
+        Submission sub = service.submit("canary-" + std::to_string(t), {canary});
+        if (!sub.accepted()) continue;  // backpressure is fine; results are not
+        const JobResult result = sub.result.get();
+        ASSERT_EQ(result.batch.per_scenario.size(), 1u);
+        expect_metrics_eq(result.batch.per_scenario[0], want);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  service.shutdown(SchedulerService::StopMode::kDrain);
+}
+
+TEST(SchedulerServiceStress, StatsAndQuotaResizeRaceExecution) {
+  // stats() snapshots and live set_tenant_quota churn while workers chew dp
+  // jobs — TSan checks the locking; we check snapshot sanity (sums never
+  // exceed submissions, monotone completions) and final conservation.
+  ServiceOptions options;
+  options.workers = 2;
+  SchedulerService service(options);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&service, &stop] {
+    std::uint64_t last_completed = 0;
+    while (!stop.load()) {
+      const ServiceStats stats = service.stats();
+      EXPECT_LE(stats.accepted_jobs, stats.submitted_jobs);
+      EXPECT_GE(stats.completed_jobs, last_completed);  // monotone
+      last_completed = stats.completed_jobs;
+      for (const TenantStats& t : stats.tenants) {
+        EXPECT_LE(t.completed_scenarios, t.submitted_scenarios) << t.tenant;
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread resizer([&service, &stop] {
+    std::size_t flip = 0;
+    while (!stop.load()) {
+      service.set_tenant_quota("t", (flip++ % 2 == 0) ? 0 : (1u << 20));
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 48; ++i) {
+    Submission sub = service.submit("t", {dp_spec(256 + 16 * (i % 6),
+                                                  static_cast<std::uint64_t>(i))});
+    if (sub.accepted()) futures.push_back(std::move(sub.result));
+  }
+  for (auto& f : futures) (void)f.get();
+  stop.store(true);
+  poller.join();
+  resizer.join();
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, futures.size());
+  EXPECT_EQ(stats.failed_jobs, 0u);
+  service.shutdown();
+}
+
+TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
+  // Submitters race a cancel-shutdown: every accepted future must resolve
+  // (value or the cancel error) and completed + cancelled == accepted.
+  ServiceOptions options;
+  options.workers = 2;
+  options.max_queued_jobs_total = 64;
+  SchedulerService service(options);
+
+  std::atomic<std::uint64_t> accepted{0};
+  constexpr int kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<JobResult>>> futures(kSubmitters);
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&service, &accepted, &futures, t] {
+      for (int i = 0; i < 30; ++i) {
+        Submission sub = service.submit(
+            "t" + std::to_string(t),
+            {quick_spec(static_cast<std::uint64_t>(t * 1000 + i))});
+        if (sub.accepted()) {
+          ++accepted;
+          futures[static_cast<std::size_t>(t)].push_back(std::move(sub.result));
+        } else if (sub.status == SubmitStatus::kShuttingDown) {
+          break;  // the race is over for this thread
+        }
+      }
+    });
+  }
+  service.shutdown(SchedulerService::StopMode::kCancelQueued);
+  for (auto& th : submitters) th.join();
+
+  std::uint64_t resolved_ok = 0, resolved_cancelled = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      try {
+        (void)f.get();
+        ++resolved_ok;
+      } catch (const std::runtime_error&) {
+        ++resolved_cancelled;
+      }
+    }
+  }
+  EXPECT_EQ(resolved_ok + resolved_cancelled, accepted.load());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted_jobs, accepted.load());
+  EXPECT_EQ(stats.completed_jobs, resolved_ok);
+  EXPECT_EQ(stats.cancelled_jobs, resolved_cancelled);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.inflight_jobs, 0u);
+}
+
+}  // namespace
+}  // namespace nowsched::service

@@ -195,6 +195,106 @@ TEST(SolveCache, MixedLifespanBatchEvictsButStaysDeterministic) {
   EXPECT_GT(got.cache.resident_bytes, 0u);
 }
 
+TEST(SolveCache, ZeroBudgetFromConstructionParksNewestOnly) {
+  // A zero quota from birth degrades to keep-newest-per-shard, never to an
+  // always-cold cache: each completion displaces the previous table.
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 0;
+  SolveCache cache(options);
+
+  (void)cache.get_or_solve({1, 16, Params{16}});
+  (void)cache.get_or_solve({1, 32, Params{16}});
+  const auto last = cache.get_or_solve({1, 48, Params{16}});
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().resident_bytes, last->bytes());
+  // The parked table still serves hits.
+  EXPECT_EQ(cache.get_or_solve({1, 48, Params{16}}).get(), last.get());
+}
+
+TEST(SolveCache, SetMaxBytesShrinkEvictsImmediatelyKeepingNewestUsed) {
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 1u << 20;  // roomy: everything resident
+  SolveCache cache(options);
+
+  const auto a = cache.get_or_solve({1, 16, Params{16}});
+  const auto b = cache.get_or_solve({1, 32, Params{16}});
+  const auto c = cache.get_or_solve({1, 48, Params{16}});
+  (void)cache.get_or_solve({1, 32, Params{16}});  // touch b: b is newest-USED
+  ASSERT_EQ(cache.stats().entries, 3u);
+
+  // Shrink to exactly b's size: a and c go, b (most recently used) stays.
+  cache.set_max_bytes(b->bytes());
+  EXPECT_EQ(cache.max_bytes(), b->bytes());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().resident_bytes, b->bytes());
+  const auto hits_before = cache.stats().hits;
+  EXPECT_EQ(cache.get_or_solve({1, 32, Params{16}}).get(), b.get());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+}
+
+TEST(SolveCache, SetMaxBytesToZeroKeepsOneTablePerShard) {
+  // Quota smaller than ANY table: keep-newest is honored through the
+  // resize, exactly like construction-time zero budgets.
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 1u << 20;
+  SolveCache cache(options);
+  (void)cache.get_or_solve({1, 16, Params{16}});
+  const auto newest = cache.get_or_solve({1, 64, Params{16}});
+
+  cache.set_max_bytes(0);
+  EXPECT_EQ(cache.max_bytes(), 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().resident_bytes, newest->bytes());
+  EXPECT_EQ(cache.get_or_solve({1, 64, Params{16}}).get(), newest.get());
+}
+
+TEST(SolveCache, SetMaxBytesGrowNeverEvictsAndRaisesHeadroom) {
+  SolveCache::Options options;
+  options.shards = 1;
+  options.max_bytes = table_bytes(1, 16) + 8;  // holds exactly one small table
+  SolveCache cache(options);
+  (void)cache.get_or_solve({1, 16, Params{16}});
+  ASSERT_EQ(cache.stats().entries, 1u);
+
+  cache.set_max_bytes(1u << 20);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // The raised budget really applies: more tables now coexist.
+  (void)cache.get_or_solve({1, 32, Params{16}});
+  (void)cache.get_or_solve({1, 48, Params{16}});
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(SolveCache, ResizeWhileTablesResidentAcrossShards) {
+  // Multi-shard resize: the budget re-splits evenly and EVERY shard evicts
+  // down to its slice, each keeping its newest table.
+  SolveCache::Options options;
+  options.shards = 4;
+  options.max_bytes = 1u << 20;
+  SolveCache cache(options);
+  for (int k = 0; k < 12; ++k) {
+    (void)cache.get_or_solve({1, 16 * (k + 1), Params{16}});
+  }
+  const std::size_t entries_before = cache.stats().entries;
+  ASSERT_EQ(entries_before, 12u);
+
+  cache.set_max_bytes(0);
+  const SolveCacheStats after = cache.stats();
+  // Keep-newest is per shard, so at most shard_count() tables survive (a
+  // shard that never held a table keeps none).
+  EXPECT_LE(after.entries, cache.shard_count());
+  EXPECT_GE(after.entries, 1u);
+  EXPECT_EQ(after.evictions, 12u - after.entries);
+  EXPECT_GT(after.resident_bytes, 0u);
+}
+
 TEST(SolveCache, ClearDropsTablesButKeepsLifetimeCounters) {
   SolveCache cache;
   (void)cache.get_or_solve({1, 64, Params{16}});
