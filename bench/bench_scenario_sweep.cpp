@@ -4,12 +4,15 @@
 // generator opens: contract-class folding (fully folded -> fully
 // heterogeneous), the owner-process mix (including the Markov-modulated /
 // inhomogeneous / bursty processes), and correlated farm groups — and
-// measures sessions/sec and solve-cache behaviour for each profile. Every
+// measures sessions/sec and solve-cache behaviour for each profile — cold
+// (fresh RAM cache) and warm-start (cold RAM cache over a per-profile
+// pre-baked read-only persistent store, solver/table_store.h). Every
 // profile is also run with and without the pool and checked for the batch
-// determinism contract (bit-identical aggregates), so the sweep doubles as
-// an end-to-end exercise of the generator -> batch -> cache pipeline on
-// every regeneration.
+// determinism contract (bit-identical aggregates, including the mapped
+// tier), so the sweep doubles as an end-to-end exercise of the generator ->
+// batch -> cache -> store pipeline on every regeneration.
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,6 +21,7 @@
 
 #include "sim/batch_runner.h"
 #include "sim/scenario_gen.h"
+#include "solver/table_store.h"
 #include "util/thread_pool.h"
 
 namespace nowsched::bench {
@@ -86,18 +90,29 @@ void run(harness::Context& ctx) {
   const int reps = ctx.quick() ? 1 : 2;
 
   ctx.csv({"profile", "sessions", "wall_ms", "sessions_per_sec", "hit_rate",
-           "resident_mb", "banked_total"});
+           "resident_mb", "mapped_sessions_per_sec", "store_hits",
+           "banked_total"});
   util::Table out({"profile", "wall ms", "sessions/s", "hit rate", "resident MB",
-                   "banked total"});
+                   "mapped s/s", "store hits", "banked total"});
 
   double folded_per_sec = 0.0, hetero_per_sec = 0.0, folded_hit = 0.0;
+  double folded_mapped_per_sec = 0.0, hetero_mapped_per_sec = 0.0;
   util::ThreadPool pool(threads);
+  harness::ScratchDir store_root("e14-store");
 
   for (const Profile& profile : make_profiles(ctx.quick())) {
     const auto specs = draw(profile, sessions, seed);
+    std::string store_dir = store_root.path();
+    store_dir += "/";
+    store_dir += profile.name;
 
-    // Determinism gate: pooled and serial runs must agree bit-for-bit.
-    sim::BatchRunner serial_runner{{}};
+    // Determinism gate: pooled and serial runs must agree bit-for-bit. The
+    // serial run also bakes this profile's persistent store (its spills
+    // fill the directory the warm-start run below mounts read-only).
+    sim::BatchOptions serial_opts;
+    serial_opts.cache.store = std::make_shared<solver::MappedTableStore>(
+        solver::MappedTableStore::Options{store_dir, false});
+    sim::BatchRunner serial_runner(serial_opts);
     const auto serial = serial_runner.run(specs);
 
     sim::BatchResult result;
@@ -114,26 +129,57 @@ void run(harness::Context& ctx) {
                              "' diverged between pooled and serial runs");
     }
 
+    // Warm-start tier: a cold RAM cache over the baked store — dp-optimal
+    // misses become mmap reads. Must stay bit-identical too.
+    sim::BatchResult mapped;
+    auto warm_store = std::make_shared<solver::MappedTableStore>(
+        solver::MappedTableStore::Options{store_dir, /*read_only=*/true});
+    const double mapped_ms = harness::time_best_of_ms(reps, [&] {
+      sim::BatchOptions opts;
+      opts.pool = &pool;
+      opts.cache.store = warm_store;
+      sim::BatchRunner runner(opts);
+      mapped = runner.run(specs);
+    });
+    if (mapped.aggregate.banked_work != serial.aggregate.banked_work ||
+        mapped.aggregate.lifespan_used != serial.aggregate.lifespan_used) {
+      throw std::logic_error(std::string("scenario sweep profile '") +
+                             profile.name +
+                             "' diverged between mapped-store and serial runs");
+    }
+
     const double per_sec =
         ms > 0 ? static_cast<double>(sessions) / (ms / 1000.0) : 0.0;
+    const double mapped_per_sec =
+        mapped_ms > 0 ? static_cast<double>(sessions) / (mapped_ms / 1000.0)
+                      : 0.0;
     const double hit_rate = result.cache.hit_rate();
     const double resident_mb =
         static_cast<double>(result.cache.resident_bytes) / (1024.0 * 1024.0);
     if (std::string(profile.name) == "folded") {
       folded_per_sec = per_sec;
+      folded_mapped_per_sec = mapped_per_sec;
       folded_hit = hit_rate;
     }
-    if (std::string(profile.name) == "heterogeneous") hetero_per_sec = per_sec;
+    if (std::string(profile.name) == "heterogeneous") {
+      hetero_per_sec = per_sec;
+      hetero_mapped_per_sec = mapped_per_sec;
+    }
 
     ctx.write_csv_row({profile.name, std::to_string(sessions),
                        util::Table::fmt(ms, 5), util::Table::fmt(per_sec, 5),
                        util::Table::fmt(hit_rate, 4),
                        util::Table::fmt(resident_mb, 4),
+                       util::Table::fmt(mapped_per_sec, 5),
+                       std::to_string(mapped.cache.store_hits),
                        std::to_string(static_cast<long long>(
                            result.aggregate.banked_work))});
     out.add_row({profile.name, util::Table::fmt(ms, 5),
                  util::Table::fmt(per_sec, 5), util::Table::fmt(hit_rate, 4),
                  util::Table::fmt(resident_mb, 4),
+                 util::Table::fmt(mapped_per_sec, 5),
+                 util::Table::fmt(static_cast<unsigned long long>(
+                     mapped.cache.store_hits)),
                  util::Table::fmt(static_cast<long long>(
                      result.aggregate.banked_work))});
   }
@@ -143,6 +189,9 @@ void run(harness::Context& ctx) {
   ctx.metric("folded_hit_rate", folded_hit);
   ctx.metric("folded_over_hetero",
              hetero_per_sec > 0 ? folded_per_sec / hetero_per_sec : 0.0);
+  ctx.metric("folded_mapped_sessions_per_sec", folded_mapped_per_sec);
+  ctx.metric("hetero_mapped_over_cold",
+             hetero_per_sec > 0 ? hetero_mapped_per_sec / hetero_per_sec : 0.0);
 
   ctx.table(out, std::to_string(sessions) +
                      " generated sessions per profile, pool of " +
@@ -156,8 +205,12 @@ void run(harness::Context& ctx) {
       "`mixed` and `correlated-farms` sit in between with the full owner-\n"
       "process mix (Markov-modulated, inhomogeneous, bursty, shared-shock\n"
       "farms). `folded_over_hetero` is the headline: how much workload\n"
-      "structure the cache converts into throughput. Every profile's pooled\n"
-      "aggregate matched its serial aggregate bit-for-bit.");
+      "structure the cache converts into throughput. `mapped s/s` reruns the\n"
+      "profile with a cold RAM cache over its pre-baked read-only persistent\n"
+      "store — the warm-start tier pays off most where the RAM cache helps\n"
+      "least (`hetero_mapped_over_cold`: every one-off table becomes an mmap\n"
+      "read instead of a solve). Every profile's pooled and mapped-store\n"
+      "aggregates matched its serial aggregate bit-for-bit.");
 }
 
 }  // namespace
@@ -169,8 +222,10 @@ const harness::Experiment& experiment_scenario_sweep() {
       "bench_scenario_sweep",
       "sim::BatchRunner throughput over ScenarioGenerator batches along the "
       "cache-affinity axis (contract classes folded -> fully heterogeneous), "
-      "the owner-process mix, and correlated farm groups, with bit-identical "
-      "pooled-vs-serial aggregates asserted per profile.",
+      "the owner-process mix, and correlated farm groups — each profile cold "
+      "and warm-started from a pre-baked mapped table store — with "
+      "bit-identical pooled / mapped / serial aggregates asserted per "
+      "profile.",
       run};
   return e;
 }

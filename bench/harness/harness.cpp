@@ -9,6 +9,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace nowsched::bench::harness {
 
 namespace {
@@ -264,6 +270,27 @@ double time_best_of_ms(int reps, const std::function<void()>& fn) {
     if (rep == 0 || ms < best) best = ms;
   }
   return best;
+}
+
+ScratchDir::ScratchDir(const std::string& label) {
+#if defined(_WIN32)
+  const auto pid = static_cast<unsigned long>(::_getpid());
+#else
+  const auto pid = static_cast<unsigned long>(::getpid());
+#endif
+  std::string name = "nowsched-bench-";
+  name += label;
+  name += "-";
+  name += std::to_string(pid);
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  path_ = dir.string();
+}
+
+ScratchDir::~ScratchDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best-effort cleanup
 }
 
 }  // namespace nowsched::bench::harness

@@ -152,6 +152,21 @@ int standalone_main(const std::string& id_or_slug, int argc, const char* const* 
 /// they share the tier/CSV/JSON plumbing with the model experiments.
 double time_best_of_ms(int reps, const std::function<void()>& fn);
 
+/// Process-unique scratch directory under the system temp dir, removed on
+/// destruction. The store-tier experiments (E13/E14) bake persistent table
+/// stores into one so baseline regeneration leaves no residue behind.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& label);
+  ~ScratchDir();
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
 /// The shared CSV schema of the timing experiments:
 /// section,x,ms,items_per_sec. Opens the context's CSV with that header on
 /// first use, so a perf experiment's whole series goes through this one

@@ -1,6 +1,6 @@
 // Generative interrupt processes beyond the fixed i.i.d. owners of
 // stochastic.h — the adversary side of the scenario-generation subsystem
-// (DESIGN.md §7).
+// (DESIGN.md §8).
 //
 // The paper's optimality claims are worst-case over ALL interrupt patterns,
 // so a simulation layer that only ever samples homogeneous Poisson/Pareto

@@ -28,6 +28,8 @@
 #include "solver/extract.h"
 #include "solver/fast_solver.h"
 #include "solver/solve_cache.h"
+#include "solver/solve_key.h"
+#include "solver/table_store.h"
 #include "solver/nonadaptive_eval.h"
 #include "solver/nonadaptive_opt.h"
 #include "solver/policy_eval.h"
@@ -57,6 +59,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/hash.h"
+#include "util/mmap_file.h"
 #include "util/parse.h"
 #include "util/rng.h"
 #include "util/striped_lock.h"

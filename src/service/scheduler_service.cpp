@@ -40,6 +40,13 @@ SchedulerService::SchedulerService(ServiceOptions options)
       queue_(make_queue_policy(options_.queue, options_.drr_quantum)) {
   options_.tenant_cache_shards = std::max<std::size_t>(1, options_.tenant_cache_shards);
   options_.latency_window = std::max<std::size_t>(1, options_.latency_window);
+  if (!options_.shared_store_dir.empty()) {
+    // Throws on a misconfigured directory — a deployment bug the operator
+    // must see at startup, not a per-job failure.
+    shared_store_ = std::make_shared<solver::MappedTableStore>(
+        solver::MappedTableStore::Options{options_.shared_store_dir,
+                                          options_.shared_store_readonly});
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -51,7 +58,8 @@ SchedulerService::~SchedulerService() { shutdown(StopMode::kCancelQueued); }
 SchedulerService::Tenant& SchedulerService::tenant_locked(const std::string& id) {
   auto [it, inserted] =
       tenants_.try_emplace(id, options_.default_tenant_quota_bytes,
-                           options_.tenant_cache_shards, options_.latency_window);
+                           options_.tenant_cache_shards, options_.latency_window,
+                           shared_store_);
   return it->second;
 }
 

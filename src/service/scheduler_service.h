@@ -1,6 +1,6 @@
 // SchedulerService — the resident, thread-safe, multi-tenant service core
 // over sim::BatchRunner: the "millions of users, one warm solver" layer of
-// the ROADMAP (DESIGN.md §8).
+// the ROADMAP (DESIGN.md §9).
 //
 // Dataflow:  submit(tenant, specs)
 //              └─ admission  — validate specs; bounded per-tenant and
@@ -116,6 +116,19 @@ struct ServiceOptions {
 
   /// Per-tenant latency ring capacity (most recent samples kept).
   std::size_t latency_window = 512;
+
+  /// Optional persistent table-store directory mounted beneath EVERY
+  /// tenant's cache (solver::MappedTableStore; see solver/table_store.h).
+  /// Empty = no persistent tier, exactly the old behavior. One store serves
+  /// all tenants: tables are pure functions of their canonical key, so
+  /// sharing leaks no tenant data — only solves. Private byte-quota caches
+  /// (and their isolation guarantees) sit above it unchanged.
+  std::string shared_store_dir;
+  /// Mount the shared store read-only — the warm-start deployment shape: a
+  /// pre-baked store (examples/cache_bake) served to many service
+  /// processes, none of which may mutate it. Read-write (the default) lets
+  /// tenants' fresh solves spill for the next process to reuse.
+  bool shared_store_readonly = false;
 };
 
 class SchedulerService {
@@ -170,10 +183,17 @@ class SchedulerService {
 
   const ServiceOptions& options() const noexcept { return options_; }
 
+  /// The shared persistent tier all tenant caches mount (nullptr when
+  /// ServiceOptions::shared_store_dir is empty).
+  const std::shared_ptr<solver::TableStore>& shared_store() const noexcept {
+    return shared_store_;
+  }
+
  private:
   struct Tenant {
-    Tenant(std::size_t quota, std::size_t shards, std::size_t latency_window)
-        : cache(solver::SolveCache::Options{shards, quota}),
+    Tenant(std::size_t quota, std::size_t shards, std::size_t latency_window,
+           std::shared_ptr<solver::TableStore> store)
+        : cache(solver::SolveCache::Options{shards, quota, std::move(store)}),
           latency(latency_window),
           quota_bytes(quota) {}
 
@@ -206,6 +226,9 @@ class SchedulerService {
   Tenant& tenant_locked(const std::string& id);
 
   ServiceOptions options_;
+  /// Built once in the constructor, then only read (TableStore does its own
+  /// locking) — safe to hand to tenant caches without mu_.
+  std::shared_ptr<solver::TableStore> shared_store_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait for jobs/stop here

@@ -115,8 +115,9 @@ BatchRunner::BatchRunner(BatchOptions options)
     // With an external shared cache the private one is never consulted, so
     // build it minimal (one stripe, zero budget) instead of at full width.
     : options_(options),
-      cache_(options.shared_cache != nullptr ? solver::SolveCache::Options{1, 0}
-                                             : options.cache) {}
+      cache_(options.shared_cache != nullptr
+                 ? solver::SolveCache::Options{1, 0, nullptr}
+                 : options.cache) {}
 
 SessionMetrics BatchRunner::run_one(const ScenarioSpec& spec) {
   // Solves inside the batch never touch the pool: run_dag is not reentrant

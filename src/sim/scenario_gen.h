@@ -1,5 +1,5 @@
 // Composable, seed-deterministic scenario generation — the workload opener
-// of DESIGN.md §7.
+// of DESIGN.md §8.
 //
 // A ScenarioGenerator samples ScenarioSpecs from a declared domain (policy
 // mix, owner-process mix, contract ranges, contract-class structure,

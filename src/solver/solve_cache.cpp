@@ -1,23 +1,10 @@
 #include "solver/solve_cache.h"
 
-#include <algorithm>
-#include <chrono>
-#include <stdexcept>
 #include <utility>
 
 #include "solver/fast_solver.h"
 
 namespace nowsched::solver {
-
-SolveKey canonical_key(const SolveRequest& req) {
-  require_valid(req.params);
-  SolveKey key;
-  key.max_p = std::max(req.max_p, 0);
-  key.c = req.params.c;
-  const Ticks l = std::max<Ticks>(req.max_lifespan, 0);
-  key.max_lifespan = ((l + key.c - 1) / key.c) * key.c;
-  return key;
-}
 
 std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
                                                util::ThreadPool* pool) {
@@ -29,43 +16,20 @@ std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
 SolveCache::SolveCache() : SolveCache(Options()) {}
 
 SolveCache::SolveCache(Options options)
-    : stripes_(options.shards), shards_(stripes_.stripes()) {
-  // An even slice per shard. A slice of 0 is legal: each shard then retains
-  // only its most recently finished table (the `keep` guarantee).
-  per_shard_budget_ = options.max_bytes / shards_.size();
-  max_bytes_ = options.max_bytes;
-}
+    : stripes_(options.shards),
+      shards_(stripes_.stripes()),
+      resident_(ResidentTableStore::Options{options.shards, options.max_bytes}),
+      store_(std::move(options.store)) {}
 
 void SolveCache::set_max_bytes(std::size_t max_bytes) {
-  max_bytes_.store(max_bytes, std::memory_order_relaxed);
-  per_shard_budget_.store(max_bytes / shards_.size(), std::memory_order_relaxed);
-  // Shrinks must take effect now, not on the next completion: walk every
-  // shard and evict down to the new slice, keeping each shard's most
-  // recently used finished table (same guarantee the completion path gives).
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::unique_lock<std::mutex> guard(stripes_.stripe(i));
-    Shard& shard = shards_[i];
-    bool found = false;
-    SolveKey keep;
-    std::uint64_t newest = 0;
-    for (const auto& [key, entry] : shard.map) {
-      if (entry.bytes == 0) continue;  // in-flight: not evictable anyway
-      if (!found || entry.last_used > newest) {
-        keep = key;
-        newest = entry.last_used;
-        found = true;
-      }
-    }
-    if (found) evict_excess_locked(shard, keep);
-  }
+  resident_.set_max_bytes(max_bytes);
 }
 
 std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& req,
                                                            util::ThreadPool* pool) {
   const SolveKey key = canonical_key(req);
   const std::uint64_t hash = key.hash();
-  const std::size_t index = stripes_.index_for(hash);
-  Shard& shard = shards_[index];
+  Shard& shard = shards_[stripes_.index_for(hash)];
 
   std::promise<TablePtr> promise;
   Future future;
@@ -73,55 +37,66 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
   std::uint64_t my_insert_id = 0;
   {
     auto guard = stripes_.lock(hash);
+    // Tier 1, probed under the in-flight stripe so a table moving from the
+    // in-flight map to the resident tier (both happen under this lock) can
+    // never be missed by a concurrent requester. Lock order is always
+    // in-flight stripe → resident stripe, so the nesting cannot deadlock.
+    if (TablePtr resident = resident_.load(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return resident;
+    }
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      it->second.last_used = ++shard.clock;
       future = it->second.future;  // copy out, then wait outside the lock
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
       future = promise.get_future().share();
-      my_insert_id = ++shard.clock;
-      // bytes stays 0 until the solve finishes — eviction happens on
-      // completion, when this entry's true size is known.
-      shard.map.emplace(key, Entry{future, my_insert_id, my_insert_id, 0});
+      my_insert_id = ++shard.next_id;
+      shard.map.emplace(key, Entry{future, my_insert_id});
       owner = true;
       misses_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   if (owner) {
-    // Solve outside the stripe lock: other keys on this shard stay
-    // resolvable, and waiters on THIS key block on the future instead.
+    // Resolve the miss outside the stripe lock: other keys on this stripe
+    // stay resolvable, and waiters on THIS key block on the future instead.
     try {
-      TablePtr table = solve_shared(req, pool);
-      const std::size_t table_bytes = table->bytes();
-      promise.set_value(std::move(table));
-      auto guard = stripes_.lock(hash);
-      auto it = shard.map.find(key);
-      // Record the bytes only on OUR entry — a concurrent clear() may have
-      // dropped it, or a clear()+re-request replaced it with a fresh
-      // in-flight entry whose own completion will do its own accounting.
-      if (it != shard.map.end() && it->second.insert_id == my_insert_id) {
-        it->second.bytes = table_bytes;
-        shard.bytes += table_bytes;
-        evict_excess_locked(shard, key);
+      bool solved = false;
+      TablePtr table = store_ ? store_->load(key) : nullptr;
+      if (table != nullptr) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        table = solve_shared(req, pool);
+        solved = true;
+      }
+      promise.set_value(table);
+      {
+        auto guard = stripes_.lock(hash);
+        auto it = shard.map.find(key);
+        // Promote to the resident tier only if OUR in-flight entry is still
+        // the one registered — a concurrent clear() may have dropped it
+        // (drop-on-arrival), or a clear()+re-request replaced it with a
+        // fresh attempt that will do its own promotion.
+        if (it != shard.map.end() && it->second.insert_id == my_insert_id) {
+          resident_.store(key, table);  // nested: in-flight → resident
+          shard.map.erase(it);
+        }
+      }
+      // Spill a FRESH solve to the persistent tier, outside every lock —
+      // a store hit is already on disk, and a failed spill only costs the
+      // next cold process a solve.
+      if (solved && store_ != nullptr && store_->store(key, table)) {
+        spills_.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (...) {
       promise.set_exception(std::current_exception());
       auto guard = stripes_.lock(hash);
       auto it = shard.map.find(key);
-      // Erase the entry only if it is a *failed* one (ours, or another
-      // failed attempt) — a concurrent clear()+re-solve may already have
-      // replaced it with a healthy or still-running entry to keep.
-      if (it != shard.map.end() &&
-          it->second.future.wait_for(std::chrono::seconds(0)) ==
-              std::future_status::ready) {
-        try {
-          (void)it->second.future.get();
-        } catch (...) {
-          shard.bytes -= it->second.bytes;
-          shard.map.erase(it);
-        }
+      // Clear only OUR failed attempt so a later call retries — a
+      // concurrent clear()+re-request may have installed a healthy entry.
+      if (it != shard.map.end() && it->second.insert_id == my_insert_id) {
+        shard.map.erase(it);
       }
       throw;
     }
@@ -129,48 +104,32 @@ std::shared_ptr<const ValueTable> SolveCache::get_or_solve(const SolveRequest& r
   return future.get();  // rethrows the owner's exception for waiters
 }
 
-void SolveCache::evict_excess_locked(Shard& shard, const SolveKey& keep) {
-  // Only finished entries (bytes > 0) are candidates: evicting an in-flight
-  // entry frees nothing (its waiters hold their own shared_future copies and
-  // its size is still unknown), and `keep` — the table whose completion
-  // triggered this pass — always survives, so a single oversized table
-  // parks in its shard instead of thrashing.
-  const std::size_t budget = per_shard_budget_.load(std::memory_order_relaxed);
-  while (shard.bytes > budget) {
-    auto victim = shard.map.end();
-    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
-      if (it->second.bytes == 0 || it->first == keep) continue;
-      if (victim == shard.map.end() ||
-          it->second.last_used < victim->second.last_used) {
-        victim = it;
-      }
-    }
-    if (victim == shard.map.end()) break;  // nothing evictable remains
-    shard.bytes -= victim->second.bytes;
-    shard.map.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
 SolveCacheStats SolveCache::stats() const {
   SolveCacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.spills = spills_.load(std::memory_order_relaxed);
+  const TableStoreStats resident = resident_.stats();
+  s.evictions = resident.evictions;
+  s.entries = resident.entries;
+  s.resident_bytes = resident.bytes;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::unique_lock<std::mutex> guard(stripes_.stripe(i));
     s.entries += shards_[i].map.size();
-    s.resident_bytes += shards_[i].bytes;
   }
   return s;
 }
 
 void SolveCache::clear() {
+  // In-flight entries first: once an owner's insert_id no longer matches,
+  // its completion is dropped on arrival instead of repopulating the
+  // resident tier we are about to clear.
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::unique_lock<std::mutex> guard(stripes_.stripe(i));
     shards_[i].map.clear();
-    shards_[i].bytes = 0;
   }
+  resident_.clear();
 }
 
 }  // namespace nowsched::solver

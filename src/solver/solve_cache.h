@@ -1,38 +1,44 @@
-// Sharded memoization of solve_fast results, and the shared_ptr-returning
+// Tiered memoization of solve_fast results, and the shared_ptr-returning
 // solve entry point the cache (and sim::BatchRunner) is built on.
 //
 // A W(p)[L] table is expensive to compute and cheap to share: it is
 // immutable after solve_fast returns, and solver::OptimalPolicy already
 // holds its table through a shared_ptr. The cache exploits both facts —
-// requests are canonicalized to a SolveKey, hashed onto one of S shards
-// (util::StripedMutex stripe i guards shard i's map), and resolved to a
-// std::shared_future of the finished table so that concurrent requests for
-// one key perform exactly ONE solve: the first thread computes outside the
-// lock while later threads block on the future, not the stripe mutex.
+// requests are canonicalized to a SolveKey, and lookup walks the tiers:
 //
-// Canonicalization (canonical_key) rounds max_lifespan up to the next
-// multiple of c. This is semantically transparent — every W(p)[L] entry of
-// the smaller table appears bit-identically in the larger one (the DP
-// recurrence for (p, L) reads only states with smaller L), and
+//   1. RAM tier (ResidentTableStore)        → hit
+//   2. in-flight solve for the same key     → wait on its shared_future (hit)
+//   3. persistent tier (Options::store)     → store_hit (mmap, zero-copy)
+//   4. solve_fast                           → solve, then SPILL to the store
+//
+// The storage half of the old monolithic cache now lives behind the
+// solver::TableStore interface (solver/table_store.h); what remains here is
+// the concurrency protocol. Requests hash onto one of S in-flight stripes
+// (util::StripedMutex stripe i guards stripe i's map), and concurrent
+// requests for one key perform exactly ONE solve: the first thread computes
+// outside the lock while later threads block on the future, not the stripe
+// mutex. The resident tier is probed and populated UNDER the in-flight
+// stripe lock (lock order: in-flight stripe → resident stripe, never
+// reversed), which closes the window where a finished table has left the
+// in-flight map but not yet reached the resident tier — the exactly-once
+// guarantee is a tested invariant, not best-effort.
+//
+// Canonicalization (canonical_key, solver/solve_key.h) rounds max_lifespan
+// up to the next multiple of c. This is semantically transparent — every
+// W(p)[L] entry of the smaller table appears bit-identically in the larger
+// one (the DP recurrence for (p, L) reads only states with smaller L), and
 // extract_episode / OptimalPolicy read only entries the original request
-// covers — but it folds near-identical scenario populations onto one table.
-// solve_shared applies the same canonicalization whether or not a cache
-// sits in front of it, so cached and uncached runs see identical tables.
+// covers — but it folds near-identical scenario populations onto one table
+// AND onto one store file: the canonical key is what the persistent tier
+// content-addresses.
 //
-// Eviction is per-shard LRU against a BYTE budget: every finished table
-// reports its slab size (ValueTable::bytes), each shard owns an equal slice
-// of Options::max_bytes, and completing a solve evicts least-recently-used
-// resident tables until the shard fits again. Entry count was the previous
-// proxy and is a poor one under mixed-N batches (a 10⁶-lifespan table costs
-// five orders of magnitude more than a 10¹ one); bytes are what the machine
-// actually runs out of. In-flight solves weigh zero until they finish (their
-// size is unknown) and every shard always keeps at least its most recent
-// table, even when that table alone exceeds the slice — a cache that cannot
-// hold the table it just built would thrash to zero hits. Hit/miss/evict
-// counters are lifetime totals (monotone, never reset by eviction) exposed
-// through stats() for benches and the E13 hit-rate report;
-// stats().resident_bytes is the exact byte accounting the eviction loop
-// maintains (tests pin it equal to the sum of resident slab sizes).
+// Determinism across tiers: a solve is a pure function of the canonical
+// key, the store checksums what it persists, and a mapped table is an
+// immutable view over the file's pages — so whichever tier answers, the
+// caller sees the same bits (tests/conformance pins this per field).
+// Counters: hits + misses == completed get_or_solve calls, and
+// misses == fresh solves + store_hits — the persistent tier converts
+// would-be solves into mmap reads, it never changes results.
 #pragma once
 
 #include <atomic>
@@ -43,59 +49,33 @@
 #include <unordered_map>
 #include <vector>
 
+#include "solver/solve_key.h"
+#include "solver/table_store.h"
 #include "solver/value_table.h"
-#include "util/hash.h"
 #include "util/striped_lock.h"
 #include "util/thread_pool.h"
 
 namespace nowsched::solver {
 
-/// What a caller wants solved, in caller terms (pre-canonicalization).
-struct SolveRequest {
-  int max_p = 0;
-  Ticks max_lifespan = 0;
-  Params params;
-};
-
-/// The canonical identity of a solve: two requests with equal SolveKeys are
-/// served by one table. Produced by canonical_key; compared field-wise.
-struct SolveKey {
-  int max_p = 0;
-  Ticks max_lifespan = 0;
-  Ticks c = 1;
-
-  bool operator==(const SolveKey&) const = default;
-
-  /// Platform-stable hash (util::hash_combine, not std::hash) so shard
-  /// assignment is identical across standard libraries.
-  std::uint64_t hash() const noexcept {
-    std::uint64_t h = util::hash_combine(0, static_cast<std::uint64_t>(max_p));
-    h = util::hash_combine(h, static_cast<std::uint64_t>(max_lifespan));
-    return util::hash_combine(h, static_cast<std::uint64_t>(c));
-  }
-};
-
-/// Canonicalizes a request: clamps max_p / max_lifespan below at 0 and
-/// rounds max_lifespan up to the next multiple of c (see header comment for
-/// why that is transparent to every reader of the table). Throws
-/// std::invalid_argument when params are invalid, like the solvers do.
-SolveKey canonical_key(const SolveRequest& req);
-
 /// Solves the canonical form of `req` and returns the immutable table by
 /// shared_ptr — the entry point OptimalPolicy plugs into directly. No
-/// caching; SolveCache calls this on a miss. `pool` is forwarded to
+/// caching; SolveCache calls this on a full miss. `pool` is forwarded to
 /// solve_fast (pass nullptr from inside pool tasks — run_dag is not
 /// reentrant).
 std::shared_ptr<const ValueTable> solve_shared(const SolveRequest& req,
                                                util::ThreadPool* pool = nullptr);
 
 /// Lifetime counters. hits + misses == completed get_or_solve calls;
-/// entries/evictions/resident_bytes describe the resident set.
+/// misses == (fresh solves) + store_hits; entries/evictions/resident_bytes
+/// describe the resident set.
 struct SolveCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t hits = 0;        ///< RAM tier hits + waits on in-flight solves
+  std::uint64_t misses = 0;      ///< requests no RAM tier could answer
+  std::uint64_t store_hits = 0;  ///< misses answered by the persistent tier
+                                 ///< (a mapped read instead of a solve)
+  std::uint64_t spills = 0;      ///< fresh solves newly persisted to the store
   std::uint64_t evictions = 0;
-  std::size_t entries = 0;
+  std::size_t entries = 0;       ///< resident tables + in-flight solves
   /// Bytes of finished resident tables (in-flight solves count 0 until
   /// their size is known).
   std::size_t resident_bytes = 0;
@@ -109,12 +89,19 @@ struct SolveCacheStats {
 class SolveCache {
  public:
   struct Options {
-    /// Stripe/shard count; rounded up to a power of two.
+    /// Stripe/shard count; rounded up to a power of two. Shared by the
+    /// in-flight map and the resident tier (same platform-stable key hash).
     std::size_t shards = 8;
     /// Total byte budget for resident tables across all shards (split
-    /// evenly). Each shard always keeps its most recently finished table
-    /// even when it alone exceeds the slice.
+    /// evenly). Each shard always keeps its most recently used table even
+    /// when it alone exceeds the slice.
     std::size_t max_bytes = 64u << 20;  // 64 MiB
+    /// Optional persistent tier probed on a RAM miss and spilled to after a
+    /// fresh solve (typically a MappedTableStore; see table_store.h).
+    /// Shared_ptr so many caches — one per tenant — can mount ONE warm
+    /// store; TableStore implementations are thread-safe. nullptr = the
+    /// cache is purely resident, exactly the old behavior.
+    std::shared_ptr<TableStore> store;
   };
 
   SolveCache();  // default Options
@@ -126,7 +113,8 @@ class SolveCache {
   /// Returns the table for canonical_key(req), solving it at most once per
   /// residency no matter how many threads ask concurrently. A solve that
   /// throws is not cached: the exception propagates to every waiter of that
-  /// attempt and the key is cleared so a later call retries.
+  /// attempt and the key is cleared so a later call retries. Store probes
+  /// and spills happen on the owner thread, outside every stripe lock.
   ///
   /// Safe to call from many threads, including ThreadPool workers — but
   /// then pass pool == nullptr (see solve_shared).
@@ -138,25 +126,29 @@ class SolveCache {
   SolveCacheStats stats() const;
 
   /// Drops every resident table (in-flight solves complete and are dropped
-  /// on arrival). Counters are NOT reset — they are lifetime totals.
+  /// on arrival — they are neither promoted to the resident tier nor
+  /// spilled). Counters are NOT reset; the persistent tier is NOT touched
+  /// (it is shared state other caches may be reading).
   void clear();
 
-  /// Re-budgets the cache to `max_bytes` total (re-split evenly across
-  /// shards) and immediately evicts LRU finished tables in every shard that
-  /// no longer fits its slice. The keep-newest guarantee survives a shrink:
-  /// each shard retains its most recently used finished table even when that
-  /// table alone exceeds the new slice, so resizing to 0 degrades to
+  /// Re-budgets the RAM tier to `max_bytes` total (re-split evenly across
+  /// shards) and immediately evicts LRU tables in every shard that no
+  /// longer fits its slice. The keep-newest guarantee survives a shrink:
+  /// each shard retains its most recently used table even when that table
+  /// alone exceeds the new slice, so resizing to 0 degrades to
   /// one-table-per-shard rather than an always-cold cache. Growing never
   /// evicts. Thread-safe against concurrent get_or_solve/stats/clear; the
   /// service layer calls this for live per-tenant quota changes.
   void set_max_bytes(std::size_t max_bytes);
 
-  /// Current total byte budget (as set by Options or set_max_bytes).
-  std::size_t max_bytes() const noexcept {
-    return max_bytes_.load(std::memory_order_relaxed);
-  }
+  /// Current total RAM-tier byte budget (Options or set_max_bytes).
+  std::size_t max_bytes() const noexcept { return resident_.max_bytes(); }
 
   std::size_t shard_count() const noexcept { return stripes_.stripes(); }
+
+  /// The persistent tier this cache spills to / reads from (nullptr when
+  /// purely resident).
+  const std::shared_ptr<TableStore>& store() const noexcept { return store_; }
 
  private:
   using TablePtr = std::shared_ptr<const ValueTable>;
@@ -168,37 +160,27 @@ class SolveCache {
     }
   };
 
+  /// An in-flight solve. Finished tables do not live here — they move to
+  /// the resident tier the moment the owner records them.
   struct Entry {
     Future future;
-    std::uint64_t last_used = 0;  ///< shard-local LRU clock value
     std::uint64_t insert_id = 0;  ///< identity tag: which insertion this is
-    std::size_t bytes = 0;        ///< 0 while the solve is in flight
   };
 
   struct Shard {
     std::unordered_map<SolveKey, Entry, KeyHash> map;
-    std::uint64_t clock = 0;      ///< monotone per-shard use counter
-    std::size_t bytes = 0;        ///< Σ entry.bytes of this map
+    std::uint64_t next_id = 0;  ///< monotone per-shard insertion counter
   };
 
-  /// Evicts LRU *finished* entries (in-flight ones weigh nothing, so
-  /// removing them cannot relieve byte pressure) until the shard fits its
-  /// slice or only `keep` remains. `keep` is the entry that must survive —
-  /// the one whose bytes were just recorded.
-  void evict_excess_locked(Shard& shard, const SolveKey& keep);
-
-  // mutable: stats() is logically const but must lock shard stripes.
+  // mutable: stats() is logically const but must lock in-flight stripes.
   mutable util::StripedMutex stripes_;
   std::vector<Shard> shards_;
-  // Atomic because set_max_bytes rewrites the budget while other threads
-  // read it inside evict_excess_locked under their own stripe lock (relaxed
-  // is enough: eviction against a slightly stale budget is corrected by the
-  // resize's own per-shard eviction pass).
-  std::atomic<std::size_t> per_shard_budget_;
-  std::atomic<std::size_t> max_bytes_;
+  ResidentTableStore resident_;       ///< tier 1: finished tables in RAM
+  std::shared_ptr<TableStore> store_; ///< tier 2: optional persistent store
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> spills_{0};
 };
 
 }  // namespace nowsched::solver

@@ -1,0 +1,58 @@
+// The canonical identity of a W(p)[L] solve — shared vocabulary of the
+// solve cache (solver/solve_cache.h) and every TableStore backend
+// (solver/table_store.h).
+//
+// Extracted from solve_cache.h so the storage backends can be keyed on
+// SolveKey without depending on the cache that fronts them; solve_cache.h
+// re-exports this header, so existing includes keep working.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/hash.h"
+
+namespace nowsched::solver {
+
+/// What a caller wants solved, in caller terms (pre-canonicalization).
+struct SolveRequest {
+  int max_p = 0;
+  Ticks max_lifespan = 0;
+  Params params;
+};
+
+/// The canonical identity of a solve: two requests with equal SolveKeys are
+/// served by one table. Produced by canonical_key; compared field-wise.
+struct SolveKey {
+  int max_p = 0;
+  Ticks max_lifespan = 0;
+  Ticks c = 1;
+
+  bool operator==(const SolveKey&) const = default;
+
+  /// Platform-stable hash (util::hash_combine, not std::hash) so shard
+  /// assignment — and the content-addressed store-file name derived from it
+  /// — is identical across standard libraries.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = util::hash_combine(0, static_cast<std::uint64_t>(max_p));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(max_lifespan));
+    return util::hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+};
+
+/// Canonicalizes a request: clamps max_p / max_lifespan below at 0 and
+/// rounds max_lifespan up to the next multiple of c (see solve_cache.h for
+/// why that is transparent to every reader of the table). Throws
+/// std::invalid_argument when params are invalid, like the solvers do.
+inline SolveKey canonical_key(const SolveRequest& req) {
+  require_valid(req.params);
+  SolveKey key;
+  key.max_p = std::max(req.max_p, 0);
+  key.c = req.params.c;
+  const Ticks l = std::max<Ticks>(req.max_lifespan, 0);
+  key.max_lifespan = ((l + key.c - 1) / key.c) * key.c;
+  return key;
+}
+
+}  // namespace nowsched::solver

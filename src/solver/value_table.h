@@ -20,9 +20,22 @@
 // level-major order, so level(p) / mutable_level(p) are zero-copy spans into
 // adjacent memory — the wavefront solver walks level p and level p−1
 // together and wants both streams prefetch-friendly.
+//
+// Two storage modes share one read interface:
+//   * OWNING  — the constructor allocates the slab; the solvers fill it via
+//     mutable_level. This is every freshly solved table.
+//   * VIEW    — ValueTable::view wraps an externally owned, already-final
+//     slab (in practice: the payload of a memory-mapped store file, see
+//     solver/table_store.h) without copying a byte. The view holds a
+//     type-erased keepalive so the backing storage outlives every reader;
+//     mutable_level on a view throws std::logic_error — a mapped table is
+//     immutable BY CONSTRUCTION, which is what makes "mapped and solved
+//     tables are bit-identical" a provable property rather than a
+//     convention.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,8 +45,17 @@ namespace nowsched::solver {
 
 class ValueTable {
  public:
-  /// A zero-initialized table; filled by the solvers.
+  /// A zero-initialized owning table; filled by the solvers.
   ValueTable(int max_p, Ticks max_lifespan, const Params& params);
+
+  /// A non-owning, read-only table over an externally owned slab. `slab`
+  /// must hold exactly (max_p+1) × (max_lifespan+1) entries in level-major
+  /// order and must stay valid for as long as `keepalive` is held (the view
+  /// and every copy of it hold `keepalive` for their whole lifetime).
+  /// Throws std::invalid_argument on a dimension/size mismatch.
+  static ValueTable view(int max_p, Ticks max_lifespan, const Params& params,
+                         std::span<const Ticks> slab,
+                         std::shared_ptr<const void> keepalive);
 
   /// W(p)[L]; requires 0 <= p <= max_p and 0 <= L <= max_lifespan.
   Ticks value(int p, Ticks lifespan) const;
@@ -45,12 +67,23 @@ class ValueTable {
   Ticks max_lifespan() const noexcept { return max_l_; }
   const Params& params() const noexcept { return params_; }
 
+  /// True when this table owns its slab (and mutable_level is usable);
+  /// false for views over external storage.
+  bool owns_storage() const noexcept { return view_data_ == nullptr; }
+
+  /// The full level-major slab — what the table store serializes and what
+  /// the bit-identity tests compare. Valid for owning tables and views.
+  std::span<const Ticks> slab() const noexcept { return {data(), entries()}; }
+
   /// Slab size in bytes — what a resident table costs a cache (the
   /// (max_p+1) × (max_lifespan+1) value storage; the struct header is
-  /// negligible against any real table).
-  std::size_t bytes() const noexcept { return slab_.size() * sizeof(Ticks); }
+  /// negligible against any real table). Identical for an owning table and
+  /// a view of it: byte budgets meter logical table size, not which tier's
+  /// memory currently backs it.
+  std::size_t bytes() const noexcept { return entries() * sizeof(Ticks); }
 
-  /// Mutable level access for the solvers.
+  /// Mutable level access for the solvers. Owning tables only: a view is
+  /// immutable by construction and throws std::logic_error.
   ///
   /// Concurrency contract (what the wavefront solver relies on): distinct
   /// levels are disjoint element ranges of one slab, so two threads may
@@ -64,11 +97,22 @@ class ValueTable {
 
  private:
   std::size_t stride() const noexcept { return static_cast<std::size_t>(max_l_) + 1; }
+  std::size_t entries() const noexcept {
+    return (static_cast<std::size_t>(max_p_) + 1) * stride();
+  }
+  /// The slab base, whichever storage mode backs it. Owning tables resolve
+  /// through owned_ on every call (not a cached pointer), so copies and
+  /// moves need no special member functions to stay correct.
+  const Ticks* data() const noexcept {
+    return view_data_ != nullptr ? view_data_ : owned_.data();
+  }
 
   int max_p_;
   Ticks max_l_;
   Params params_;
-  std::vector<Ticks> slab_;  // level-major: slab_[p * stride() + L]
+  std::vector<Ticks> owned_;         // level-major: data()[p * stride() + L]
+  const Ticks* view_data_ = nullptr; // non-null IFF this is a view
+  std::shared_ptr<const void> keepalive_;  // pins a view's backing storage
 };
 
 }  // namespace nowsched::solver

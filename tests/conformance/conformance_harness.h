@@ -1,6 +1,6 @@
 // Differential conformance harness: every generated scenario is pushed
 // through INDEPENDENT implementations and paper theorems, and any mutual
-// disagreement is a bug by construction (DESIGN.md §7).
+// disagreement is a bug by construction (DESIGN.md §8).
 //
 // The checks, per scenario:
 //   * fast-vs-reference   — solve_fast and the O(P·N²) oracle agree

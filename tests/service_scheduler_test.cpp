@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "temp_dir.h"
+
 namespace nowsched::service {
 namespace {
 
@@ -451,6 +453,87 @@ TEST(SchedulerService, StatsListsTenantsSortedAndSumsMatch) {
   EXPECT_EQ(stats.queue_policy, "fifo");
   EXPECT_EQ(stats.workers, 0u);
   expect_conservation(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Shared persistent store: one warm mount beneath every tenant's cache
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerService, SharedStoreServesAllTenantsAboveTheirPrivateQuotas) {
+  nowsched::testing::TempDir dir("svc-store");
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.shared_store_dir = dir.str();
+  SchedulerService service(options);
+  ASSERT_NE(service.shared_store(), nullptr);
+
+  // Tenant a solves a dp table — its fresh solve spills to the shared store.
+  ASSERT_TRUE(service.submit("a", {dp_spec(512, 1)}).accepted());
+  service.drain();
+
+  // Tenant b runs the same contract: its PRIVATE cache is cold (no
+  // cross-tenant RAM sharing — isolation is intact), but the shared store
+  // converts its would-be solve into a mapped read.
+  ASSERT_TRUE(service.submit("b", {dp_spec(512, 2)}).accepted());
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  const TenantStats* a = stats.tenant("a");
+  const TenantStats* b = stats.tenant("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->cache.misses, 1u);
+  EXPECT_EQ(a->cache.spills, 1u);
+  EXPECT_EQ(a->cache.store_hits, 0u);
+  EXPECT_EQ(b->cache.misses, 1u);       // private caches stay isolated...
+  EXPECT_EQ(b->cache.store_hits, 1u);   // ...but the store answered the miss
+  EXPECT_EQ(b->cache.spills, 0u);       // a store hit is never re-spilled
+  EXPECT_EQ(service.shared_store()->stats().entries, 1u);
+}
+
+TEST(SchedulerService, ResultsAreBitIdenticalWithAndWithoutTheSharedStore) {
+  // The store changes WHO supplies a table, never what the simulation
+  // computes: identical per-scenario metrics with no store, with a cold
+  // store, and with a pre-warmed store.
+  const std::vector<sim::ScenarioSpec> batch = {
+      dp_spec(512, 11), dp_spec(640, 12), dp_spec(512, 13)};
+
+  auto run = [&batch](const std::string& store_dir) {
+    ServiceOptions options = manual_options(QueueKind::kFifo);
+    options.shared_store_dir = store_dir;
+    SchedulerService service(options);
+    Submission sub = service.submit("t", batch);
+    EXPECT_TRUE(sub.accepted());
+    service.drain();
+    return sub.result.get();
+  };
+
+  nowsched::testing::TempDir dir("svc-bitid");
+  const JobResult no_store = run("");
+  const JobResult cold_store = run(dir.str());   // bakes the store
+  const JobResult warm_store = run(dir.str());   // served from the store
+
+  ASSERT_EQ(no_store.batch.per_scenario.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const sim::SessionMetrics& base = no_store.batch.per_scenario[i];
+    const sim::SessionMetrics& cold = cold_store.batch.per_scenario[i];
+    const sim::SessionMetrics& warm = warm_store.batch.per_scenario[i];
+    EXPECT_EQ(base.banked_work, cold.banked_work) << i;
+    EXPECT_EQ(base.banked_work, warm.banked_work) << i;
+    EXPECT_EQ(base.task_work, cold.task_work) << i;
+    EXPECT_EQ(base.task_work, warm.task_work) << i;
+    EXPECT_EQ(base.lost_work, cold.lost_work) << i;
+    EXPECT_EQ(base.lost_work, warm.lost_work) << i;
+    EXPECT_EQ(base.interrupts, cold.interrupts) << i;
+    EXPECT_EQ(base.interrupts, warm.interrupts) << i;
+  }
+}
+
+TEST(SchedulerService, ReadOnlySharedStoreMountRequiresBakedDirectory) {
+  ServiceOptions options = manual_options(QueueKind::kFifo);
+  options.shared_store_dir = "/nonexistent/nowsched-store";
+  options.shared_store_readonly = true;
+  // Misconfiguration surfaces at construction, not as per-job failures.
+  EXPECT_THROW(SchedulerService{options}, std::runtime_error);
 }
 
 }  // namespace

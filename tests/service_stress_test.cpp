@@ -226,10 +226,14 @@ TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
   submitters.reserve(kSubmitters);
   for (int t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&service, &accepted, &futures, t] {
+      // Assemble via append rather than operator+: string concatenation of
+      // a literal with std::to_string trips a GCC 12 -Wrestrict false
+      // positive (GCC bug 105651) when inlined under -O2.
+      std::string tenant = "t";
+      tenant += std::to_string(t);
       for (int i = 0; i < 30; ++i) {
         Submission sub = service.submit(
-            "t" + std::to_string(t),
-            {quick_spec(static_cast<std::uint64_t>(t * 1000 + i))});
+            tenant, {quick_spec(static_cast<std::uint64_t>(t * 1000 + i))});
         if (sub.accepted()) {
           ++accepted;
           futures[static_cast<std::size_t>(t)].push_back(std::move(sub.result));

@@ -6,12 +6,15 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "sim/batch_runner.h"
 #include "solver/fast_solver.h"
+#include "solver/table_store.h"
+#include "temp_dir.h"
 
 namespace nowsched::solver {
 namespace {
@@ -377,6 +380,170 @@ TEST(SolveCache, ColdConcurrentRaceStillSolvesOncePerKey) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Tiering: the persistent store beneath the RAM tier
+// ---------------------------------------------------------------------------
+
+/// Field-for-field equality — the cross-tier bit-identity guarantee.
+void expect_tables_identical(const ValueTable& a, const ValueTable& b) {
+  ASSERT_EQ(a.max_interrupts(), b.max_interrupts());
+  ASSERT_EQ(a.max_lifespan(), b.max_lifespan());
+  ASSERT_EQ(a.params().c, b.params().c);
+  for (int p = 0; p <= a.max_interrupts(); ++p) {
+    for (Ticks l = 0; l <= a.max_lifespan(); ++l) {
+      ASSERT_EQ(a.value(p, l), b.value(p, l)) << "W(" << p << ")[" << l << "]";
+    }
+  }
+}
+
+TEST(SolveCacheTiered, LookupWalksRamThenStoreThenSolves) {
+  nowsched::testing::TempDir dir("tier");
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str()});
+  SolveCache cache({2, 16u << 20, store});
+  const SolveRequest req{2, 200, Params{16}};
+
+  // Cold everywhere: miss → fresh solve → spill to the store.
+  const auto solved = cache.get_or_solve(req);
+  EXPECT_TRUE(solved->owns_storage());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().store_hits, 0u);
+  EXPECT_EQ(cache.stats().spills, 1u);
+
+  // Warm RAM: a plain hit, the store is not consulted.
+  EXPECT_EQ(cache.get_or_solve(req).get(), solved.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Drop RAM, keep the store: the miss is answered by a mapped read — a
+  // zero-copy view, counted as store_hit, NOT a second spill — and the
+  // mapped table is bit-identical to the solved one.
+  cache.clear();
+  const auto mapped = cache.get_or_solve(req);
+  EXPECT_FALSE(mapped->owns_storage());
+  expect_tables_identical(*solved, *mapped);
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.store_hits, 1u);
+  EXPECT_EQ(stats.spills, 1u);
+
+  // The mapped table is now RAM-resident: hit again.
+  EXPECT_EQ(cache.get_or_solve(req).get(), mapped.get());
+}
+
+TEST(SolveCacheTiered, MissesEqualSolvesPlusStoreHits) {
+  nowsched::testing::TempDir dir("tier");
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str()});
+  SolveCache cache({2, 16u << 20, store});
+  for (int k = 0; k < 3; ++k) cache.get_or_solve({1, 64 + 16 * k, Params{16}});
+  cache.clear();
+  for (int k = 0; k < 5; ++k) cache.get_or_solve({1, 64 + 16 * k, Params{16}});
+
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 8u);       // 3 cold + 5 after clear
+  EXPECT_EQ(stats.store_hits, 3u);   // the 3 spilled tables came back mapped
+  EXPECT_EQ(stats.spills, 5u);       // every fresh solve spilled exactly once
+  EXPECT_EQ(stats.misses, (stats.misses - stats.store_hits) + stats.store_hits);
+  EXPECT_EQ(store->stats().entries, 5u);
+}
+
+TEST(SolveCacheTiered, WarmStartAcrossCaches) {
+  // Process A bakes through its cache; process B (modeled by a second cache
+  // over the same directory) starts cold in RAM but warm on disk — no
+  // solves, bit-identical tables. This is the multi-process warm-start
+  // story in-process; the fork test in solver_table_store_test.cpp does it
+  // across a real process boundary.
+  nowsched::testing::TempDir dir("warm");
+  const SolveRequest req{3, 300, Params{16}};
+
+  std::shared_ptr<const ValueTable> solved;
+  {
+    auto store = std::make_shared<MappedTableStore>(
+        MappedTableStore::Options{dir.str()});
+    SolveCache first({2, 16u << 20, store});
+    solved = first.get_or_solve(req);
+    EXPECT_EQ(first.stats().spills, 1u);
+  }
+
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str(), /*read_only=*/true});
+  SolveCache second({2, 16u << 20, store});
+  const auto warm = second.get_or_solve(req);
+  expect_tables_identical(*solved, *warm);
+  EXPECT_EQ(second.stats().store_hits, 1u);
+  EXPECT_EQ(second.stats().spills, 0u);
+}
+
+TEST(SolveCacheTiered, ClearDropsRamButNeverTheSharedStore) {
+  nowsched::testing::TempDir dir("tier");
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str()});
+  SolveCache cache({2, 16u << 20, store});
+  cache.get_or_solve({1, 64, Params{16}});
+  cache.get_or_solve({1, 96, Params{16}});
+  ASSERT_EQ(store->stats().entries, 2u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(store->stats().entries, 2u)
+      << "clear() must not touch shared persistent state";
+}
+
+TEST(SolveCacheTiered, EvictedTableComesBackFromTheStoreNotASolve) {
+  nowsched::testing::TempDir dir("tier");
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str()});
+  // Budget below one table: every arrival evicts the previous resident.
+  SolveCache cache({1, 0, store});
+  cache.set_max_bytes(0);
+  const SolveRequest a{1, 64, Params{16}};
+  const SolveRequest b{1, 96, Params{16}};
+  cache.get_or_solve(a);
+  cache.get_or_solve(b);  // evicts a (zero budget keeps only newest)
+  cache.get_or_solve(a);  // must return via the store, not a re-solve
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.store_hits, 1u);
+  EXPECT_EQ(stats.spills, 2u);  // a and b each solved (and spilled) once
+}
+
+TEST(SolveCacheTiered, ConcurrentColdStartOverASharedStoreStaysExactlyOnce) {
+  // Many caches (tenants) over ONE store, all cold, racing the same key:
+  // each cache misses exactly once (solve or store-hit), the store ends up
+  // with exactly one entry, and every table is bit-identical. TSan-checked
+  // in CI.
+  nowsched::testing::TempDir dir("fleet");
+  auto store = std::make_shared<MappedTableStore>(
+      MappedTableStore::Options{dir.str()});
+  constexpr int kCaches = 4;
+  std::vector<std::unique_ptr<SolveCache>> caches;
+  for (int i = 0; i < kCaches; ++i) {
+    caches.push_back(std::make_unique<SolveCache>(
+        SolveCache::Options{2, 16u << 20, store}));
+  }
+  const auto reference = solve_shared({2, 128, Params{16}});
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int i = 0; i < kCaches; ++i) {
+    threads.emplace_back([&, i] {
+      for (int iter = 0; iter < 8; ++iter) {
+        const auto table = caches[static_cast<std::size_t>(i)]->get_or_solve(
+            {2, 128, Params{16}});
+        if (table->value(2, 128) != reference->value(2, 128) ||
+            table->bytes() != reference->bytes()) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  for (const auto& cache : caches) {
+    EXPECT_EQ(cache->stats().misses, 1u);  // exactly-once per cache
+  }
+  EXPECT_EQ(store->stats().entries, 1u);   // build-once across the fleet
 }
 
 }  // namespace

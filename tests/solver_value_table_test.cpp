@@ -2,6 +2,8 @@
 // the fast solver relies on, checked on reference-solver output.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/bounds.h"
 #include "solver/reference_solver.h"
 
@@ -123,6 +125,57 @@ TEST(ValueTable, HandComputedTinyInstance) {
   // V_1(4) = 0 (threshold (p+1)c = 4).
   EXPECT_EQ(table.value(1, 4), 0);
   EXPECT_GT(table.value(1, 6), table.value(1, 5));
+}
+
+TEST(ValueTable, ViewReadsExternalSlabWithoutCopying) {
+  // The mapped-store read path: a view over an externally owned slab must
+  // be indistinguishable from the owning table on every read accessor.
+  const auto owner = solve_reference(2, 60, Params{8});
+  const auto slab = owner.slab();
+  const ValueTable view =
+      ValueTable::view(2, 60, Params{8}, slab, nullptr);
+  EXPECT_FALSE(view.owns_storage());
+  EXPECT_TRUE(owner.owns_storage());
+  EXPECT_EQ(view.bytes(), owner.bytes());
+  EXPECT_EQ(view.slab().data(), slab.data());  // zero-copy: same memory
+  for (int p = 0; p <= 2; ++p) {
+    for (Ticks l = 0; l <= 60; ++l) {
+      ASSERT_EQ(view.value(p, l), owner.value(p, l));
+    }
+  }
+  EXPECT_THROW(view.value(3, 0), std::out_of_range);  // bounds still apply
+}
+
+TEST(ValueTable, ViewIsImmutableByConstruction) {
+  const auto owner = solve_reference(1, 20, Params{4});
+  ValueTable view = ValueTable::view(1, 20, Params{4}, owner.slab(), nullptr);
+  EXPECT_THROW(view.mutable_level(0), std::logic_error);
+}
+
+TEST(ValueTable, ViewRejectsDimensionMismatch) {
+  const auto owner = solve_reference(1, 20, Params{4});
+  EXPECT_THROW(ValueTable::view(2, 20, Params{4}, owner.slab(), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(ValueTable::view(1, 21, Params{4}, owner.slab(), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(ValueTable::view(1, -1, Params{4}, owner.slab(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(ValueTable, ViewKeepaliveOutlivesTheSource) {
+  // The keepalive is the view's ONLY lifetime anchor: hand it a buffer
+  // owned by a shared_ptr, drop every other reference, and the view (and
+  // its copies) must keep reading valid data.
+  const auto owner = solve_reference(1, 30, Params{4});
+  auto backing = std::make_shared<std::vector<Ticks>>(
+      owner.slab().begin(), owner.slab().end());
+  ValueTable view = ValueTable::view(
+      1, 30, Params{4}, std::span<const Ticks>(*backing), backing);
+  const Ticks expect = owner.value(1, 30);
+  backing.reset();                  // view's keepalive is now the only owner
+  ValueTable copy = view;           // copies share the keepalive
+  EXPECT_EQ(view.value(1, 30), expect);
+  EXPECT_EQ(copy.value(1, 30), expect);
 }
 
 TEST(ValueTable, P1AgreesWithDirectMinimaxScan) {

@@ -1,0 +1,50 @@
+// RAII scratch directory for tests that exercise on-disk state (the mmap
+// primitives, the persistent table store, the warm-start service mount).
+// Each instance gets a process-unique path under the system temp directory
+// and removes the whole tree on destruction, so parallel ctest invocations
+// and crashed runs cannot poison each other.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace nowsched::testing {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& label) {
+    static std::atomic<std::uint64_t> counter{0};
+#if defined(_WIN32)
+    const auto pid = static_cast<unsigned long>(::_getpid());
+#else
+    const auto pid = static_cast<unsigned long>(::getpid());
+#endif
+    path_ = std::filesystem::temp_directory_path() /
+            ("nowsched-test-" + label + "-" + std::to_string(pid) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace nowsched::testing
