@@ -20,6 +20,7 @@ const harness::Experiment& experiment_farm_scaling();
 const harness::Experiment& experiment_batch_scaling();
 const harness::Experiment& experiment_scenario_sweep();
 const harness::Experiment& experiment_sched_service();
+const harness::Experiment& experiment_policy_racing();
 
 }  // namespace nowsched::bench
 
@@ -43,6 +44,7 @@ void register_all_experiments() {
     registry.add(experiment_batch_scaling());       // E13
     registry.add(experiment_scenario_sweep());      // E14
     registry.add(experiment_sched_service());       // E15
+    registry.add(experiment_policy_racing());       // E16
     return true;
   }();
   (void)registered;

@@ -11,6 +11,7 @@
 //   nowsched::adversary— owner/interrupt models
 //   nowsched::sim      — discrete-event NOW simulator
 //   nowsched::service  — resident multi-tenant scheduler service
+//   nowsched::race     — statistical policy racing / best-arm identification
 //   nowsched::util     — support (RNG, stats, tables, threads)
 #pragma once
 
@@ -55,6 +56,11 @@
 #include "service/queue_policy.h"
 #include "service/scheduler_service.h"
 #include "service/service_stats.h"
+
+#include "race/bounds.h"
+#include "race/policy_race.h"
+#include "race/race.h"
+#include "race/regret_hunt.h"
 
 #include "util/csv.h"
 #include "util/flags.h"

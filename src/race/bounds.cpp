@@ -1,0 +1,71 @@
+#include "race/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nowsched::race {
+
+namespace {
+
+void require_bound_args(double range, double delta) {
+  if (!(range > 0.0)) {
+    throw std::invalid_argument("race bounds: score range must be > 0");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("race bounds: delta must lie in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double hoeffding_radius(std::size_t n, double range, double delta) {
+  require_bound_args(range, delta);
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return range * std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+double empirical_bernstein_radius(std::size_t n, double sample_variance,
+                                  double range, double delta) {
+  require_bound_args(range, delta);
+  if (sample_variance < 0.0) {
+    throw std::invalid_argument("race bounds: sample variance must be >= 0");
+  }
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  const double nd = static_cast<double>(n);
+  const double log_term = std::log(3.0 / delta);
+  return std::sqrt(2.0 * sample_variance * log_term / nd) +
+         3.0 * range * log_term / nd;
+}
+
+double confidence_radius(const util::Welford& stats, double range, double delta) {
+  require_bound_args(range, delta);
+  // δ/2 to each bound: the min of two level-(δ/2) bounds holds at level δ.
+  const double half = delta / 2.0;
+  return std::min(hoeffding_radius(stats.n, range, half),
+                  empirical_bernstein_radius(stats.n, stats.variance(), range, half));
+}
+
+double anytime_delta(double delta, std::size_t arms, std::size_t batch_index) {
+  if (arms == 0) {
+    throw std::invalid_argument("race bounds: anytime_delta needs arms >= 1");
+  }
+  if (batch_index == 0) {
+    throw std::invalid_argument("race bounds: anytime_delta is 1-based in t");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("race bounds: delta must lie in (0, 1)");
+  }
+  const double t = static_cast<double>(batch_index);
+  return delta / (static_cast<double>(arms) * t * (t + 1.0));
+}
+
+Interval confidence_interval(const util::Welford& stats, double range, double delta) {
+  require_bound_args(range, delta);
+  if (stats.n == 0) return {0.0, range};
+  const double radius = confidence_radius(stats, range, delta);
+  return {std::max(0.0, stats.mean - radius), std::min(range, stats.mean + radius)};
+}
+
+}  // namespace nowsched::race

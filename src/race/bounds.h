@@ -1,0 +1,62 @@
+// Confidence bounds for the policy-racing layer (DESIGN.md §9).
+//
+// Every bound here is a finite-sample, distribution-free deviation bound for
+// i.i.d. samples in a KNOWN range [0, range]:
+//
+//   * Hoeffding          |x̄ − μ| <= range · sqrt( ln(2/δ) / (2n) )
+//   * empirical Bernstein (Maurer & Pontil 2009; Audibert et al. 2009)
+//                        |x̄ − μ| <= sqrt( 2·V̂·ln(3/δ) / n )
+//                                   + 3·range·ln(3/δ) / n
+//     where V̂ is the UNBIASED sample variance — tight when the arm's score
+//     variance is far below the worst case range²/4, which is exactly the
+//     low-variance regime the regret hunt lives in.
+//
+// confidence_radius charges δ/2 to each and takes the min, so the combined
+// radius still holds with probability >= 1 − δ (union bound): low-variance
+// arms get the Bernstein rate, tiny-n arms fall back to Hoeffding (whose
+// radius has no 1/n slack term).
+//
+// anytime_delta is the δ schedule that makes the bounds valid at EVERY
+// stopping time of an adaptive race: charging δ/(arms · t·(t+1)) to the t-th
+// confidence evaluation of an arm telescopes (Σ_t 1/(t(t+1)) = 1) to δ/arms
+// per arm, and to δ over all arms — so "stop when the leader's lower bound
+// clears every challenger's upper bound" mis-identifies with probability at
+// most δ no matter when the race stops. The derivation is written out in
+// DESIGN.md §9 and pinned numerically by tests/race_bounds_test.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "util/welford.h"
+
+namespace nowsched::race {
+
+/// Hoeffding deviation radius at confidence 1 − δ. n == 0 yields +infinity
+/// (no data, no bound). Throws std::invalid_argument unless range > 0 and
+/// 0 < δ < 1.
+double hoeffding_radius(std::size_t n, double range, double delta);
+
+/// Empirical-Bernstein deviation radius at confidence 1 − δ, using the
+/// unbiased sample variance. Same domain contract as hoeffding_radius.
+double empirical_bernstein_radius(std::size_t n, double sample_variance,
+                                  double range, double delta);
+
+/// min( Hoeffding(δ/2), empirical-Bernstein(δ/2) ) — valid at 1 − δ.
+double confidence_radius(const util::Welford& stats, double range, double delta);
+
+/// The anytime δ schedule: δ / (arms · t · (t+1)) for the t-th (1-based)
+/// confidence evaluation of one of `arms` arms. Union-bounds to δ across
+/// all arms and all stopping times. Throws on arms == 0, t == 0, or δ
+/// outside (0, 1).
+double anytime_delta(double delta, std::size_t arms, std::size_t batch_index);
+
+/// A two-sided confidence interval for an arm mean, clamped into the score
+/// range [0, range] (scores live there by contract, so clamping only
+/// tightens). n == 0 yields the vacuous [0, range].
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+Interval confidence_interval(const util::Welford& stats, double range, double delta);
+
+}  // namespace nowsched::race

@@ -1,0 +1,237 @@
+#include "race/policy_race.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/parse.h"
+
+namespace nowsched::race {
+
+namespace {
+
+/// Domain tag separating race generator streams from every other
+/// hash_combine user (scenario index streams, store checksums, ...).
+constexpr std::uint64_t kRaceTag = 0xBA1DACE5;
+
+std::string format_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+double parse_double_field(const std::string& value, const std::string& line) {
+  const auto x = util::parse_double(value);
+  if (!x) {
+    throw std::invalid_argument("verdict: malformed number in '" + line + "'");
+  }
+  return *x;
+}
+
+std::uint64_t parse_uint_field(const std::string& value, const std::string& line) {
+  const auto x = util::parse_uint64(value);
+  if (!x) {
+    throw std::invalid_argument("verdict: malformed integer in '" + line + "'");
+  }
+  return *x;
+}
+
+}  // namespace
+
+std::string arm_label(const PolicyArm& arm, const std::vector<Region>& regions) {
+  if (arm.region >= regions.size()) {
+    throw std::invalid_argument("arm_label: region index out of range");
+  }
+  return std::string(sim::to_string(arm.policy)) + "@" + regions[arm.region].name;
+}
+
+PolicyRace::PolicyRace(std::vector<Region> regions, std::vector<PolicyArm> arms,
+                       PolicyRaceOptions options)
+    : regions_(std::move(regions)),
+      arms_(std::move(arms)),
+      options_(std::move(options)),
+      runner_(options_.batch) {
+  if (regions_.empty()) {
+    throw std::invalid_argument("PolicyRace: need at least one region");
+  }
+  options_.race.validate(arms_.size());
+  generators_.reserve(arms_.size());
+  for (const PolicyArm& arm : arms_) {
+    if (arm.region >= regions_.size()) {
+      throw std::invalid_argument("PolicyRace: arm region index out of range");
+    }
+    // Matched design: the generator seed depends on the REGION only, and the
+    // policy is forced through a one-element mix (which consumes exactly one
+    // RNG draw, like any mix) — arms sharing a region therefore face
+    // bit-identical contract/owner/seed sequences.
+    sim::ScenarioDomain domain = regions_[arm.region].domain;
+    domain.policies = {arm.policy};
+    const std::uint64_t seed = util::hash_combine(
+        util::hash_combine(kRaceTag, options_.seed),
+        static_cast<std::uint64_t>(arm.region));
+    generators_.emplace_back(std::move(domain), seed);  // validates the domain
+  }
+}
+
+sim::ScenarioSpec PolicyRace::sample_spec(std::size_t arm,
+                                          std::uint64_t index) const {
+  if (arm >= arms_.size()) {
+    throw std::invalid_argument("PolicyRace: arm index out of range");
+  }
+  return generators_[arm].at(index);
+}
+
+double PolicyRace::score_of(const sim::SessionMetrics& metrics,
+                            const sim::ScenarioSpec& spec) {
+  return static_cast<double>(metrics.banked_work) /
+         static_cast<double>(spec.lifespan);
+}
+
+std::vector<double> PolicyRace::score_batch(std::size_t arm, std::uint64_t start,
+                                            std::size_t count) {
+  std::vector<sim::ScenarioSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back(sample_spec(arm, start + static_cast<std::uint64_t>(i)));
+  }
+  const sim::BatchResult batch = runner_.run(specs);
+  std::vector<double> scores;
+  scores.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scores.push_back(score_of(batch.per_scenario[i], specs[i]));
+  }
+  return scores;
+}
+
+PolicyRaceResult PolicyRace::run() {
+  PolicyRaceResult result;
+  result.race = run_race(
+      arms_.size(), options_.race,
+      [this](std::size_t arm, std::uint64_t start, std::size_t count) {
+        return score_batch(arm, start, count);
+      });
+
+  const std::size_t best = result.race.best;
+  const ArmOutcome& winner = result.race.arms[best];
+  for (std::size_t b = 0; b < arms_.size(); ++b) {
+    if (b == best) continue;
+    const ArmOutcome& loser = result.race.arms[b];
+    VerdictRecord v;
+    v.kind = "race";
+    v.policy_a = sim::to_string(arms_[best].policy);
+    v.region_a = regions_[arms_[best].region].name;
+    v.policy_b = sim::to_string(arms_[b].policy);
+    v.region_b = regions_[arms_[b].region].name;
+    v.mean_a = winner.stats.mean;
+    v.mean_b = loser.stats.mean;
+    v.gap_mean = winner.stats.mean - loser.stats.mean;
+    v.gap_lower = winner.lower - loser.upper;
+    v.gap_upper = winner.upper - loser.lower;
+    v.delta = options_.race.delta;
+    v.epsilon = options_.race.epsilon;
+    v.pulls_a = static_cast<std::uint64_t>(winner.stats.n);
+    v.pulls_b = static_cast<std::uint64_t>(loser.stats.n);
+    v.confident = v.gap_lower >= -options_.race.epsilon;
+    result.verdicts.push_back(std::move(v));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Verdict serialization — sibling of the scenario replay format.
+// ---------------------------------------------------------------------------
+
+std::string to_verdict_string(const VerdictRecord& v) {
+  std::ostringstream os;
+  os << "nowsched-verdict v1\n";
+  os << "kind=" << v.kind << "\n";
+  os << "policy_a=" << v.policy_a << "\n";
+  os << "region_a=" << v.region_a << "\n";
+  os << "policy_b=" << v.policy_b << "\n";
+  os << "region_b=" << v.region_b << "\n";
+  os << "mean_a=" << format_double(v.mean_a) << "\n";
+  os << "mean_b=" << format_double(v.mean_b) << "\n";
+  os << "gap_mean=" << format_double(v.gap_mean) << "\n";
+  os << "gap_lower=" << format_double(v.gap_lower) << "\n";
+  os << "gap_upper=" << format_double(v.gap_upper) << "\n";
+  os << "delta=" << format_double(v.delta) << "\n";
+  os << "epsilon=" << format_double(v.epsilon) << "\n";
+  os << "pulls_a=" << v.pulls_a << "\n";
+  os << "pulls_b=" << v.pulls_b << "\n";
+  os << "confident=" << (v.confident ? 1 : 0) << "\n";
+  return os.str();
+}
+
+VerdictRecord verdict_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "nowsched-verdict v1") {
+    throw std::invalid_argument("verdict: missing 'nowsched-verdict v1' header");
+  }
+  VerdictRecord v;
+  bool saw_kind = false, saw_policy_a = false, saw_policy_b = false,
+       saw_gap = false, saw_delta = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("verdict: expected key=value, got '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "kind") {
+      v.kind = value;
+      saw_kind = true;
+    } else if (key == "policy_a") {
+      v.policy_a = value;
+      saw_policy_a = true;
+    } else if (key == "region_a") {
+      v.region_a = value;
+    } else if (key == "policy_b") {
+      v.policy_b = value;
+      saw_policy_b = true;
+    } else if (key == "region_b") {
+      v.region_b = value;
+    } else if (key == "mean_a") {
+      v.mean_a = parse_double_field(value, line);
+    } else if (key == "mean_b") {
+      v.mean_b = parse_double_field(value, line);
+    } else if (key == "gap_mean") {
+      v.gap_mean = parse_double_field(value, line);
+      saw_gap = true;
+    } else if (key == "gap_lower") {
+      v.gap_lower = parse_double_field(value, line);
+    } else if (key == "gap_upper") {
+      v.gap_upper = parse_double_field(value, line);
+    } else if (key == "delta") {
+      v.delta = parse_double_field(value, line);
+      saw_delta = true;
+    } else if (key == "epsilon") {
+      v.epsilon = parse_double_field(value, line);
+    } else if (key == "pulls_a") {
+      v.pulls_a = parse_uint_field(value, line);
+    } else if (key == "pulls_b") {
+      v.pulls_b = parse_uint_field(value, line);
+    } else if (key == "confident") {
+      if (value == "1") {
+        v.confident = true;
+      } else if (value == "0") {
+        v.confident = false;
+      } else {
+        throw std::invalid_argument("verdict: confident must be 0 or 1, got '" +
+                                    value + "'");
+      }
+    } else {
+      throw std::invalid_argument("verdict: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_kind || !saw_policy_a || !saw_policy_b || !saw_gap || !saw_delta) {
+    throw std::invalid_argument(
+        "verdict: incomplete record (need kind, policy_a, policy_b, gap_mean, "
+        "delta)");
+  }
+  return v;
+}
+
+}  // namespace nowsched::race

@@ -1,0 +1,215 @@
+#include "race/race.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace nowsched::race {
+
+namespace {
+
+std::size_t ceil_log2(std::size_t k) {
+  std::size_t rounds = 0;
+  std::size_t span = 1;
+  while (span < k) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds == 0 ? 1 : rounds;
+}
+
+struct Engine {
+  const RaceOptions& options;
+  const ArmSampler& sampler;
+  RaceResult result;
+
+  Engine(std::size_t arms, const RaceOptions& opts, const ArmSampler& sample)
+      : options(opts), sampler(sample) {
+    result.arms.resize(arms);
+  }
+
+  void pull(std::size_t arm, std::size_t count) {
+    ArmOutcome& outcome = result.arms[arm];
+    const std::vector<double> scores =
+        sampler(arm, static_cast<std::uint64_t>(outcome.stats.n), count);
+    if (scores.size() != count) {
+      throw std::logic_error("race: sampler returned " +
+                             std::to_string(scores.size()) + " scores for " +
+                             std::to_string(count) + " requested");
+    }
+    for (double s : scores) {
+      if (std::isnan(s) || s < 0.0 || s > options.score_range) {
+        throw std::logic_error("race: sampler score " + std::to_string(s) +
+                               " outside [0, " +
+                               std::to_string(options.score_range) + "]");
+      }
+      outcome.stats.add(s);
+    }
+    outcome.batches += 1;
+    result.total_pulls += count;
+  }
+
+  /// Anytime-δ interval for the arm's CURRENT batch count (valid at every
+  /// stopping time; see race/bounds.h).
+  Interval interval(std::size_t arm) const {
+    const ArmOutcome& outcome = result.arms[arm];
+    return confidence_interval(
+        outcome.stats, options.score_range,
+        anytime_delta(options.delta, result.arms.size(), outcome.batches));
+  }
+
+  void refresh_bounds() {
+    for (std::size_t a = 0; a < result.arms.size(); ++a) {
+      const Interval ci = interval(a);
+      result.arms[a].lower = ci.lower;
+      result.arms[a].upper = ci.upper;
+    }
+  }
+
+  /// Empirical leader among `candidates` (highest mean; ties to the lowest
+  /// index — every tie-break in the engine is by index, for determinism).
+  std::size_t leader(const std::vector<std::size_t>& candidates) const {
+    std::size_t best = candidates.front();
+    for (std::size_t a : candidates) {
+      if (result.arms[a].stats.mean > result.arms[best].stats.mean) best = a;
+    }
+    return best;
+  }
+
+  /// The (δ, ε) stop check shared by kLucb and kUniform: with h the leader,
+  /// confident iff lower(h) >= max_{a != h} upper(a) − ε. Returns the
+  /// strongest challenger through `challenger`.
+  bool separated(std::size_t h, std::size_t* challenger) {
+    refresh_bounds();
+    std::size_t l = h == 0 ? 1 : 0;
+    for (std::size_t a = 0; a < result.arms.size(); ++a) {
+      if (a == h) continue;
+      if (result.arms[a].upper > result.arms[l].upper) l = a;
+    }
+    *challenger = l;
+    return result.arms[h].lower >= result.arms[l].upper - options.epsilon;
+  }
+
+  void run_successive_halving() {
+    const std::size_t arms = result.arms.size();
+    const std::size_t rounds_total = ceil_log2(arms);
+    std::vector<std::size_t> active(arms);
+    std::iota(active.begin(), active.end(), 0);
+
+    std::size_t round = 0;
+    while (active.size() > 1) {
+      ++round;
+      const std::size_t per_arm =
+          std::max<std::size_t>(1, options.budget / (active.size() * rounds_total));
+      for (std::size_t a : active) pull(a, per_arm);
+
+      // Rank survivors: mean descending, ties to the lower index. The kept
+      // prefix is ceil(|active|/2); the reversed tail (worst first, ties
+      // eliminating the higher index first) is this round's elimination
+      // record.
+      std::sort(active.begin(), active.end(), [this](std::size_t x, std::size_t y) {
+        const double mx = result.arms[x].stats.mean;
+        const double my = result.arms[y].stats.mean;
+        return mx != my ? mx > my : x < y;
+      });
+      const std::size_t keep = (active.size() + 1) / 2;
+      for (std::size_t i = active.size(); i-- > keep;) {
+        result.arms[active[i]].round_eliminated = round;
+        result.elimination_order.push_back(active[i]);
+      }
+      active.resize(keep);
+    }
+    result.rounds = round;
+    result.best = active.front();
+
+    // Post-hoc (δ, ε) assessment with the same anytime-δ intervals.
+    std::size_t challenger = 0;
+    result.confident = separated(result.best, &challenger);
+  }
+
+  void run_adaptive(bool uniform) {
+    const std::size_t arms = result.arms.size();
+    std::vector<std::size_t> all(arms);
+    std::iota(all.begin(), all.end(), 0);
+
+    // Warm-up: every arm gets one batch so means and bounds exist.
+    for (std::size_t a = 0; a < arms; ++a) pull(a, options.batch);
+    result.rounds = 1;
+
+    for (;;) {
+      const std::size_t h = leader(all);
+      std::size_t l = 0;
+      if (separated(h, &l)) {
+        result.best = h;
+        result.confident = true;
+        return;
+      }
+      const std::size_t round_cost = (uniform ? arms : 2) * options.batch;
+      if (result.total_pulls + round_cost > options.max_total_pulls) {
+        result.best = h;  // budget exhausted: report the leader, unconfident
+        return;
+      }
+      if (uniform) {
+        for (std::size_t a = 0; a < arms; ++a) pull(a, options.batch);
+      } else {
+        pull(h, options.batch);
+        pull(l, options.batch);
+      }
+      ++result.rounds;
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kSuccessiveHalving: return "successive-halving";
+    case Mode::kLucb: return "lucb";
+    case Mode::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+void RaceOptions::validate(std::size_t arms) const {
+  if (arms < 2) {
+    throw std::invalid_argument("race: need at least 2 arms to race");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("race: delta must lie in (0, 1)");
+  }
+  if (epsilon < 0.0) {
+    throw std::invalid_argument("race: epsilon must be >= 0");
+  }
+  if (!(score_range > 0.0)) {
+    throw std::invalid_argument("race: score_range must be > 0");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("race: batch must be >= 1");
+  }
+  if (mode == Mode::kSuccessiveHalving) {
+    if (budget == 0) {
+      throw std::invalid_argument("race: successive halving needs budget >= 1");
+    }
+  } else if (max_total_pulls < arms * batch) {
+    throw std::invalid_argument(
+        "race: max_total_pulls below the warm-up cost (arms * batch)");
+  }
+}
+
+RaceResult run_race(std::size_t arms, const RaceOptions& options,
+                    const ArmSampler& sampler) {
+  options.validate(arms);
+  Engine engine(arms, options, sampler);
+  if (options.mode == Mode::kSuccessiveHalving) {
+    engine.run_successive_halving();
+  } else {
+    engine.run_adaptive(options.mode == Mode::kUniform);
+  }
+  engine.refresh_bounds();
+  return std::move(engine.result);
+}
+
+}  // namespace nowsched::race

@@ -1,0 +1,119 @@
+// The arm-agnostic racing engine: adaptive simulation-budget allocation with
+// confidence-bounded best-arm identification (DESIGN.md §9).
+//
+// An "arm" is anything whose samples are a deterministic, RANDOM-ACCESS pure
+// function of (arm index, sample index) — the same purity contract the
+// scenario generator pins for specs. The engine never sees what an arm is;
+// race::PolicyRace plugs in (policy, scenario-region) pairs scored through
+// sim::BatchRunner, and the planted-ground-truth tests plug in synthetic
+// Bernoulli streams with known means.
+//
+// Three allocation modes, all driven by the bounds of race/bounds.h:
+//
+//   * kSuccessiveHalving — classic budgeted elimination: ceil(log2 k) rounds,
+//     each round spends budget/(|survivors|·rounds) pulls per surviving arm
+//     and keeps the top half by empirical mean. Every elimination is recorded
+//     in order, so tests can hand-trace the whole tournament. Confidence is
+//     assessed post-hoc with the anytime-δ intervals.
+//   * kLucb — LUCB-style (δ, ε) best-arm identification: each round pulls
+//     ONLY the empirical leader and its strongest challenger (highest upper
+//     bound), stopping the moment the leader's lower bound clears every
+//     challenger's upper bound minus ε. This is where the budget-to-verdict
+//     win over fixed allocation comes from: sims concentrate on the arms
+//     that still matter.
+//   * kUniform — the fixed-allocation baseline: every round pulls EVERY arm,
+//     with the SAME (δ, ε) stopping rule. Exists so "racing spends X% of the
+//     fixed budget for the same verdict" is measured inside one engine
+//     rather than across two implementations (E16, planted-truth tests).
+//
+// Determinism: allocation decisions read only banked statistics, samplers
+// are pure, and all tie-breaks are by arm index — so the full trajectory
+// (pulls, eliminations, verdict) is a deterministic function of (arms,
+// options, sampler). tests/race_stress_test.cpp pins this across thread
+// counts and cache configurations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "race/bounds.h"
+#include "util/welford.h"
+
+namespace nowsched::race {
+
+enum class Mode {
+  kSuccessiveHalving,
+  kLucb,
+  kUniform,
+};
+
+const char* to_string(Mode mode);
+
+/// Batch sampler: scores of samples [start, start+count) of `arm`. Must be
+/// random-access pure — sample i of arm a has one value no matter when or
+/// in what grouping it is drawn — and every score must lie in
+/// [0, RaceOptions::score_range].
+using ArmSampler = std::function<std::vector<double>(
+    std::size_t arm, std::uint64_t start, std::size_t count)>;
+
+struct RaceOptions {
+  Mode mode = Mode::kSuccessiveHalving;
+  /// kSuccessiveHalving: total pull budget across all arms and rounds.
+  std::size_t budget = 2048;
+  /// Mis-identification probability bound for the (δ, ε) stopping rule and
+  /// the post-hoc intervals.
+  double delta = 0.01;
+  /// Allowed sub-optimality of the identified arm (ε-best identification);
+  /// 0 demands the exact best arm.
+  double epsilon = 0.0;
+  /// kLucb/kUniform: pulls per selected arm per round (also the warm-up
+  /// pull count every arm receives before the first stopping check).
+  std::size_t batch = 16;
+  /// kLucb/kUniform: hard cap on total pulls; hitting it ends the race with
+  /// confident == false.
+  std::size_t max_total_pulls = 1u << 20;
+  /// Scores lie in [0, score_range] (the bounds need the range).
+  double score_range = 1.0;
+
+  /// Throws std::invalid_argument on nonsense (arms < 2, delta outside
+  /// (0,1), zero batch/budget, cap below the warm-up cost, ...).
+  void validate(std::size_t arms) const;
+};
+
+struct ArmOutcome {
+  util::Welford stats;
+  /// Anytime-δ confidence interval on the arm mean at the race's δ (see
+  /// race/bounds.h: δ is scheduled over arms and over the arm's batch
+  /// count, so these ends are valid at the adaptive stopping time).
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Number of pull-batches this arm received (the t in anytime_delta).
+  std::size_t batches = 0;
+  /// kSuccessiveHalving: 1-based round this arm was eliminated in;
+  /// 0 = survived to the end (other modes always 0).
+  std::size_t round_eliminated = 0;
+};
+
+struct RaceResult {
+  std::size_t best = 0;  ///< identified arm (empirical leader at stop)
+  /// True when the (δ, ε) separation held at stop: the best arm's lower
+  /// bound cleared every other surviving arm's upper bound minus ε.
+  bool confident = false;
+  std::size_t total_pulls = 0;
+  std::size_t rounds = 0;
+  std::vector<ArmOutcome> arms;
+  /// kSuccessiveHalving: arm indices in elimination order (worst first;
+  /// within a round ascending mean, ties eliminate the higher index).
+  std::vector<std::size_t> elimination_order;
+};
+
+/// Runs the race over `arms` arms. Deterministic given (arms, options,
+/// sampler). Throws std::invalid_argument via options.validate, and
+/// std::logic_error when the sampler returns a malformed batch (wrong
+/// length, score outside [0, score_range], NaN).
+RaceResult run_race(std::size_t arms, const RaceOptions& options,
+                    const ArmSampler& sampler);
+
+}  // namespace nowsched::race

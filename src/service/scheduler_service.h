@@ -1,6 +1,6 @@
 // SchedulerService — the resident, thread-safe, multi-tenant service core
 // over sim::BatchRunner: the "millions of users, one warm solver" layer of
-// the ROADMAP (DESIGN.md §9).
+// the ROADMAP (DESIGN.md §10).
 //
 // Dataflow:  submit(tenant, specs)
 //              └─ admission  — validate specs; bounded per-tenant and

@@ -9,38 +9,23 @@
 namespace nowsched::util {
 
 void Accumulator::add(double x) noexcept {
-  if (n_ == 0) {
+  if (moments_.n == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  ++n_;
   sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
+  moments_.add(x);
 }
-
-double Accumulator::variance() const noexcept {
-  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
-}
-
-double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
 
 void Accumulator::merge(const Accumulator& other) noexcept {
-  if (other.n_ == 0) return;
-  if (n_ == 0) {
+  if (other.moments_.n == 0) return;
+  if (moments_.n == 0) {
     *this = other;
     return;
   }
-  const auto n1 = static_cast<double>(n_);
-  const auto n2 = static_cast<double>(other.n_);
-  const double delta = other.mean_ - mean_;
-  const double total = n1 + n2;
-  mean_ += delta * n2 / total;
-  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
-  n_ += other.n_;
+  moments_.merge(other.moments_);
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);

@@ -5,29 +5,32 @@
 #include <string>
 #include <vector>
 
+#include "util/welford.h"
+
 namespace nowsched::util {
 
-/// Numerically stable streaming mean/variance (Welford) with min/max.
+/// Numerically stable streaming mean/variance (util::Welford) with min/max.
 class Accumulator {
  public:
   void add(double x) noexcept;
 
-  std::size_t count() const noexcept { return n_; }
-  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  std::size_t count() const noexcept { return moments_.n; }
+  double mean() const noexcept { return moments_.mean; }
   /// Unbiased sample variance; 0 when fewer than two samples.
-  double variance() const noexcept;
-  double stddev() const noexcept;
-  double min() const noexcept { return n_ ? min_ : 0.0; }
-  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept { return moments_.variance(); }
+  double stddev() const noexcept { return moments_.stddev(); }
+  double min() const noexcept { return moments_.n ? min_ : 0.0; }
+  double max() const noexcept { return moments_.n ? max_ : 0.0; }
   double sum() const noexcept { return sum_; }
+
+  /// The bare mergeable moment statistic (what the racing layer consumes).
+  const Welford& moments() const noexcept { return moments_; }
 
   /// Merge another accumulator (parallel reduction; Chan et al. update).
   void merge(const Accumulator& other) noexcept;
 
  private:
-  std::size_t n_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
+  Welford moments_;
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;

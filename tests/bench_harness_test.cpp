@@ -38,10 +38,10 @@ std::string fresh_outdir(const std::string& name) {
   return dir;
 }
 
-TEST(Registry, KnowsAllFifteenExperimentsInOrder) {
+TEST(Registry, KnowsAllSixteenExperimentsInOrder) {
   register_all_experiments();
   const auto& registry = Registry::instance();
-  ASSERT_EQ(registry.size(), 15u);
+  ASSERT_EQ(registry.size(), 16u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const Experiment& e = registry.experiments()[i];
     EXPECT_EQ(e.id, "E" + std::to_string(i + 1));
@@ -55,7 +55,8 @@ TEST(Registry, KnowsAllFifteenExperimentsInOrder) {
   EXPECT_EQ(registry.find("E5"), registry.find("adaptive_vs_optimal"));
   EXPECT_EQ(registry.find("E14"), registry.find("scenario_sweep"));
   EXPECT_EQ(registry.find("E15"), registry.find("sched_service"));
-  EXPECT_EQ(registry.find("E16"), nullptr);
+  EXPECT_EQ(registry.find("E16"), registry.find("policy_racing"));
+  EXPECT_EQ(registry.find("E17"), nullptr);
   EXPECT_EQ(registry.find(""), nullptr);
 }
 
@@ -63,9 +64,9 @@ TEST(Registry, RegistrationIsIdempotentAndRejectsDuplicates) {
   register_all_experiments();
   register_all_experiments();  // second call must be a no-op
   auto& registry = Registry::instance();
-  EXPECT_EQ(registry.size(), 15u);
+  EXPECT_EQ(registry.size(), 16u);
   EXPECT_THROW(registry.add(registry.experiments()[0]), std::logic_error);
-  EXPECT_EQ(registry.size(), 15u);
+  EXPECT_EQ(registry.size(), 16u);
 }
 
 TEST(Tier, ParsesQuickAndFullSpellings) {

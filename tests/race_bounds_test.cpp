@@ -1,0 +1,235 @@
+// Fixed-seed statistical unit tests for the racing bounds (race/bounds.h)
+// and the streaming moments that feed them (util/welford.h). The bound
+// checks are HAND-COMPUTED on small fixed samples — closed-form expected
+// values, never re-derived through the code under test — so a silent change
+// to a constant (the 2 in Hoeffding's log, the 3s in Bernstein's) fails
+// loudly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "race/bounds.h"
+#include "util/welford.h"
+
+namespace nowsched::race {
+namespace {
+
+using util::Welford;
+
+Welford welford_of(const std::vector<double>& xs) {
+  Welford w;
+  for (double x : xs) w.add(x);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// util::Welford
+// ---------------------------------------------------------------------------
+
+TEST(Welford, MatchesTwoPassMeanAndVariance) {
+  const std::vector<double> xs = {0.1, 0.9, 0.4, 0.4, 0.7, 0.2, 0.95, 0.05};
+  const Welford w = welford_of(xs);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+
+  ASSERT_EQ(w.n, xs.size());
+  EXPECT_NEAR(w.mean, mean, 1e-15);
+  EXPECT_NEAR(w.variance(), var, 1e-15);
+  EXPECT_NEAR(w.stddev(), std::sqrt(var), 1e-15);
+}
+
+TEST(Welford, HandComputedSmallSample) {
+  // {0, 1, 1, 0, 1}: mean 3/5; Σ(x − mean)² = 2·(0.6)² + 3·(0.4)² = 1.2;
+  // unbiased variance 1.2 / 4 = 0.3.
+  const Welford w = welford_of({0, 1, 1, 0, 1});
+  ASSERT_EQ(w.n, 5u);
+  EXPECT_DOUBLE_EQ(w.mean, 0.6);
+  EXPECT_NEAR(w.m2, 1.2, 1e-15);
+  EXPECT_NEAR(w.variance(), 0.3, 1e-15);
+}
+
+TEST(Welford, DegenerateCounts) {
+  Welford w;
+  EXPECT_EQ(w.n, 0u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  w.add(42.0);
+  EXPECT_DOUBLE_EQ(w.mean, 42.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);  // n == 1: no spread information
+}
+
+TEST(Welford, MergeEqualsSequentialFeed) {
+  const std::vector<double> xs = {3.0, 1.5, -2.0, 8.25, 0.0, 4.5, -1.25, 7.0, 2.5};
+  for (std::size_t cut = 0; cut <= xs.size(); ++cut) {
+    Welford left, right;
+    for (std::size_t i = 0; i < cut; ++i) left.add(xs[i]);
+    for (std::size_t i = cut; i < xs.size(); ++i) right.add(xs[i]);
+    left.merge(right);
+
+    const Welford all = welford_of(xs);
+    ASSERT_EQ(left.n, all.n) << "cut=" << cut;
+    EXPECT_NEAR(left.mean, all.mean, 1e-12) << "cut=" << cut;
+    EXPECT_NEAR(left.m2, all.m2, 1e-12) << "cut=" << cut;
+  }
+}
+
+TEST(Welford, MergeIsAssociative) {
+  const Welford a = welford_of({0.1, 0.2, 0.3});
+  const Welford b = welford_of({5.0, 7.0});
+  const Welford c = welford_of({-3.0, -1.0, -2.0, -4.0});
+
+  Welford ab = a;
+  ab.merge(b);
+  Welford ab_c = ab;
+  ab_c.merge(c);
+
+  Welford bc = b;
+  bc.merge(c);
+  Welford a_bc = a;
+  a_bc.merge(bc);
+
+  ASSERT_EQ(ab_c.n, a_bc.n);
+  EXPECT_NEAR(ab_c.mean, a_bc.mean, 1e-12);
+  EXPECT_NEAR(ab_c.m2, a_bc.m2, 1e-12);
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  const Welford a = welford_of({1.0, 2.0, 4.0});
+  Welford left = a;
+  left.merge(Welford{});
+  EXPECT_EQ(left.n, a.n);
+  EXPECT_DOUBLE_EQ(left.mean, a.mean);
+  EXPECT_DOUBLE_EQ(left.m2, a.m2);
+
+  Welford right;
+  right.merge(a);
+  EXPECT_EQ(right.n, a.n);
+  EXPECT_DOUBLE_EQ(right.mean, a.mean);
+  EXPECT_DOUBLE_EQ(right.m2, a.m2);
+}
+
+// ---------------------------------------------------------------------------
+// Hoeffding
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, HoeffdingHandComputed) {
+  // n = 8, range = 1, δ = 0.05: sqrt(ln(40) / 16) = 0.4801614…
+  EXPECT_NEAR(hoeffding_radius(8, 1.0, 0.05), 0.4801614, 1e-6);
+  // Exact closed form at a second point: n = 2, range = 2, δ = 0.5 gives
+  // 2·sqrt(ln(4)/4) = sqrt(ln 4) = sqrt(2 ln 2).
+  EXPECT_DOUBLE_EQ(hoeffding_radius(2, 2.0, 0.5), std::sqrt(2.0 * std::log(2.0)));
+}
+
+TEST(Bounds, HoeffdingScalesAsInverseSqrtN) {
+  const double r1 = hoeffding_radius(25, 1.0, 0.1);
+  const double r4 = hoeffding_radius(100, 1.0, 0.1);
+  EXPECT_NEAR(r1, 2.0 * r4, 1e-12);  // 4x samples → half the radius
+}
+
+TEST(Bounds, HoeffdingNoDataIsVacuous) {
+  EXPECT_EQ(hoeffding_radius(0, 1.0, 0.1), std::numeric_limits<double>::infinity());
+}
+
+// ---------------------------------------------------------------------------
+// Empirical Bernstein
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, EmpiricalBernsteinHandComputed) {
+  // {0,1,1,0,1}: n = 5, V̂ = 0.3, range = 1, δ = 0.05:
+  //   sqrt(2·0.3·ln(60)/5) + 3·ln(60)/5 = 0.7009432 + 2.4566067 = 3.1575499
+  EXPECT_NEAR(empirical_bernstein_radius(5, 0.3, 1.0, 0.05), 3.1575499, 1e-6);
+}
+
+TEST(Bounds, EmpiricalBernsteinZeroVarianceLeavesOnlyRangeTerm) {
+  // V̂ = 0 kills the sqrt term: radius = 3·range·ln(3/δ)/n exactly.
+  const double r = empirical_bernstein_radius(100, 0.0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(r, 3.0 * std::log(30.0) / 100.0);
+}
+
+TEST(Bounds, EmpiricalBernsteinBeatsHoeffdingAtLowVariance) {
+  // Large n, tiny variance: Bernstein's sqrt(V̂/n) term crushes Hoeffding's
+  // range·sqrt(1/n) — the regime the regret hunt lives in.
+  const std::size_t n = 10000;
+  const double eb = empirical_bernstein_radius(n, 1e-4, 1.0, 0.05);
+  const double hf = hoeffding_radius(n, 1.0, 0.05);
+  EXPECT_LT(eb, hf);
+}
+
+// ---------------------------------------------------------------------------
+// Combined radius and intervals
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, CombinedRadiusIsMinOfBothAtHalvedDelta) {
+  const Welford w = welford_of({0, 1, 1, 0, 1});
+  // Small n: Hoeffding wins (no 1/n slack term). Both at δ/2 = 0.025.
+  EXPECT_DOUBLE_EQ(confidence_radius(w, 1.0, 0.05), hoeffding_radius(5, 1.0, 0.025));
+  EXPECT_LT(confidence_radius(w, 1.0, 0.05),
+            empirical_bernstein_radius(5, w.variance(), 1.0, 0.025));
+  // Hand value: sqrt(ln(80)/10) = 0.6619688…
+  EXPECT_NEAR(confidence_radius(w, 1.0, 0.05), 0.6619688, 1e-6);
+}
+
+TEST(Bounds, IntervalClampsToScoreRange) {
+  const Welford w = welford_of({0.95, 1.0, 0.9});
+  const Interval ci = confidence_interval(w, 1.0, 0.1);
+  EXPECT_GE(ci.lower, 0.0);
+  EXPECT_LE(ci.upper, 1.0);
+  EXPECT_LE(ci.lower, w.mean);
+  EXPECT_GE(ci.upper, w.mean);
+}
+
+TEST(Bounds, IntervalNoDataIsFullRange) {
+  const Interval ci = confidence_interval(Welford{}, 2.5, 0.1);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Anytime δ schedule
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, AnytimeDeltaHandComputed) {
+  // δ = 0.05, 4 arms, t = 3: 0.05 / (4·3·4) = 0.05/48.
+  EXPECT_DOUBLE_EQ(anytime_delta(0.05, 4, 3), 0.05 / 48.0);
+  EXPECT_DOUBLE_EQ(anytime_delta(0.2, 1, 1), 0.1);  // δ/(1·1·2)
+}
+
+TEST(Bounds, AnytimeDeltaTelescopesToDelta) {
+  // Σ_t δ/(arms·t·(t+1)) over all arms → δ · Σ 1/(t(t+1)) = δ (as T → ∞).
+  const double delta = 0.05;
+  const std::size_t arms = 3;
+  double spent = 0.0;
+  for (std::size_t t = 1; t <= 4000; ++t) {
+    spent += static_cast<double>(arms) * anytime_delta(delta, arms, t);
+  }
+  EXPECT_LT(spent, delta);                 // never overspends at any horizon
+  EXPECT_NEAR(spent, delta, delta / 500);  // …and converges to exactly δ
+}
+
+// ---------------------------------------------------------------------------
+// Domain checks
+// ---------------------------------------------------------------------------
+
+TEST(Bounds, RejectsNonsenseArguments) {
+  const Welford w = welford_of({0.5});
+  EXPECT_THROW(hoeffding_radius(4, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(hoeffding_radius(4, -1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(hoeffding_radius(4, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(hoeffding_radius(4, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(empirical_bernstein_radius(4, -0.1, 1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(confidence_radius(w, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(confidence_interval(w, -2.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(anytime_delta(0.1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(anytime_delta(0.1, 2, 0), std::invalid_argument);
+  EXPECT_THROW(anytime_delta(0.0, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nowsched::race
