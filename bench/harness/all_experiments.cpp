@@ -21,6 +21,7 @@ const harness::Experiment& experiment_batch_scaling();
 const harness::Experiment& experiment_scenario_sweep();
 const harness::Experiment& experiment_sched_service();
 const harness::Experiment& experiment_policy_racing();
+const harness::Experiment& experiment_rpc_roundtrip();
 
 }  // namespace nowsched::bench
 
@@ -45,6 +46,7 @@ void register_all_experiments() {
     registry.add(experiment_scenario_sweep());      // E14
     registry.add(experiment_sched_service());       // E15
     registry.add(experiment_policy_racing());       // E16
+    registry.add(experiment_rpc_roundtrip());       // E17
     return true;
   }();
   (void)registered;

@@ -4,17 +4,18 @@
 //                   --tenants=3 --quota-mb=4 --skew=4 --seed=7
 //
 // Mirrors the launcher surface of a scheduler daemon (queue class x cache
-// quota x worker count): tenants submit scenario-batch jobs against a
-// resident service::SchedulerService, overflow comes back as a backpressure
-// status the submitter retries on, and the run ends with the per-tenant
-// stats table an operator would read — queue policy, hit rates, p50/p99 job
-// latency, and Jain's fairness index over completed scenarios. --skew makes
-// tenant 0 offer N times the load of the others, which is what separates
-// FIFO (fairness tracks offered load) from DRR (fairness holds anyway).
+// quota x worker count): tenants submit scenario-batch jobs through the
+// JobTicket handle API against a resident service::SchedulerService,
+// overflow comes back as a backpressure status the submitter retries on,
+// and the run ends with the same `nowsched-stats v1` snapshot the daemon's
+// Stats RPC serves — one format for both surfaces — plus the operator
+// summary lines (pooled latency, Jain's fairness). --skew makes tenant 0
+// offer N times the load of the others, which is what separates FIFO
+// (fairness tracks offered load) from DRR (fairness holds anyway).
 //
 // The exit status is an invariant check, not decoration: every accepted
-// future must resolve, and the stats conservation laws must balance.
-#include <future>
+// ticket must fetch exactly once as kDone, the stats conservation laws must
+// balance, and the stats text must round-trip its strict parser.
 #include <iostream>
 #include <string>
 #include <thread>
@@ -69,8 +70,8 @@ int main(int argc, char** argv) {
 
   // Tenant 0 offers `skew`x the share of the others (a weighted deal);
   // submission retries on backpressure — the cooperative protocol.
-  std::vector<std::future<service::JobResult>> futures;
-  futures.reserve(jobs);
+  std::vector<service::JobTicket> tickets;
+  tickets.reserve(jobs);
   std::size_t rejected_retries = 0;
   for (std::size_t j = 0; j < jobs; ++j) {
     const std::size_t slot = j % (tenants + skew - 1);
@@ -78,9 +79,9 @@ int main(int argc, char** argv) {
     const std::string tenant = "tenant-" + std::to_string(t);
     std::vector<sim::ScenarioSpec> specs = generator.batch(scenarios);
     for (;;) {
-      service::Submission sub = service.submit(tenant, specs);
+      service::TicketSubmission sub = service.submit_job(tenant, specs);
       if (sub.accepted()) {
-        futures.push_back(std::move(sub.result));
+        tickets.push_back(std::move(sub.ticket));
         break;
       }
       if (!service::is_backpressure(sub.status)) {
@@ -99,11 +100,23 @@ int main(int argc, char** argv) {
   if (workers == 0) service.drain();
 
   std::uint64_t resolved = 0;
-  for (auto& f : futures) {
-    const service::JobResult result = f.get();
-    if (result.batch.per_scenario.size() != scenarios) {
-      std::cerr << "sched_service: job " << result.job_id
+  for (const service::JobTicket& ticket : tickets) {
+    const service::FetchOutcome outcome = service.fetch_result(ticket.id);
+    if (!outcome.done()) {
+      std::cerr << "sched_service: job " << ticket.id << " ended "
+                << service::to_string(outcome.state) << " (" << outcome.error
+                << ")\n";
+      return 1;
+    }
+    if (outcome.result.batch.per_scenario.size() != scenarios) {
+      std::cerr << "sched_service: job " << ticket.id
                 << " returned wrong scenario count\n";
+      return 1;
+    }
+    // Exactly-once: the fetch consumed the ticket.
+    if (service.job_state(ticket.id) != service::JobState::kUnknown) {
+      std::cerr << "sched_service: job " << ticket.id
+                << " still known after its result was fetched\n";
       return 1;
     }
     ++resolved;
@@ -111,24 +124,35 @@ int main(int argc, char** argv) {
   service.shutdown(service::SchedulerService::StopMode::kDrain);
 
   const service::ServiceStats stats = service.stats();
-  std::cout << "queue=" << stats.queue_policy << " workers=" << stats.workers
-            << " jobs=" << jobs << " scenarios/job=" << scenarios
+  std::cout << "jobs=" << jobs << " scenarios/job=" << scenarios
             << " quota=" << quota_mb << "MiB skew=" << skew
             << " (retries absorbed: " << rejected_retries << ")\n\n";
-  std::cout << "tenant        completed  scenarios  hit-rate   p50 ms    p99 ms\n";
+
+  // The same versioned snapshot the daemon's Stats RPC serves.
+  const std::string stats_text = service::to_stats_string(stats);
+  std::cout << stats_text << "\n";
+
   std::vector<double> completed_share;
   for (const service::TenantStats& t : stats.tenants) {
     completed_share.push_back(static_cast<double>(t.completed_scenarios));
-    std::cout << t.tenant << "      " << t.completed_jobs << "        "
-              << t.completed_scenarios << "        " << t.cache.hit_rate()
-              << "   " << t.latency.p50_ms << "   " << t.latency.p99_ms << "\n";
   }
-  std::cout << "\npooled p50/p99: " << stats.latency.p50_ms << " / "
+  std::cout << "pooled p50/p99: " << stats.latency.p50_ms << " / "
             << stats.latency.p99_ms << " ms; Jain fairness over completed "
             << "scenarios: " << service::jains_fairness(completed_share) << "\n";
 
   // Invariant audit — the exit status the smoke test keys on.
-  if (resolved != futures.size() || stats.completed_jobs != resolved ||
+  bool round_trips = false;
+  try {
+    round_trips =
+        service::to_stats_string(service::stats_from_string(stats_text)) ==
+        stats_text;
+  } catch (const std::invalid_argument&) {
+  }
+  if (!round_trips) {
+    std::cerr << "sched_service: nowsched-stats v1 round-trip failed\n";
+    return 1;
+  }
+  if (resolved != tickets.size() || stats.completed_jobs != resolved ||
       stats.failed_jobs != 0 || stats.cancelled_jobs != 0 ||
       stats.queued_jobs != 0 || stats.inflight_jobs != 0 ||
       stats.submitted_jobs != stats.accepted_jobs + stats.rejected_jobs) {

@@ -11,6 +11,7 @@
 //   nowsched::adversary— owner/interrupt models
 //   nowsched::sim      — discrete-event NOW simulator
 //   nowsched::service  — resident multi-tenant scheduler service
+//   nowsched::rpc      — nowsched-rpc v1 wire protocol (daemon + client)
 //   nowsched::race     — statistical policy racing / best-arm identification
 //   nowsched::util     — support (RNG, stats, tables, threads)
 #pragma once
@@ -56,6 +57,12 @@
 #include "service/queue_policy.h"
 #include "service/scheduler_service.h"
 #include "service/service_stats.h"
+#include "service/stats_format.h"
+
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/protocol.h"
+#include "rpc/server.h"
 
 #include "race/bounds.h"
 #include "race/policy_race.h"

@@ -1,0 +1,94 @@
+#include "rpc/client.h"
+
+#include <utility>
+
+#include "service/stats_format.h"
+
+namespace nowsched::rpc {
+
+Client::Client(const std::string& socket_path)
+    : fd_(util::unix_connect(socket_path)) {}
+
+Frame Client::call(MsgType request, const std::string& payload, MsgType expected) {
+  if (!fd_.valid()) {
+    throw RpcError("rpc::Client: connection is closed");
+  }
+  const std::string bytes = encode_frame(wire_code(request), payload);
+  util::write_all(fd_.get(), bytes.data(), bytes.size());
+
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = decoder_.next(frame);
+    if (status == DecodeStatus::kFrame) break;
+    if (status == DecodeStatus::kError) {
+      close();
+      throw RpcError(decoder_.error());
+    }
+    char buf[64 * 1024];
+    std::size_t n = 0;
+    const util::IoStatus io = util::read_some(fd_.get(), buf, sizeof(buf), n);
+    if (io == util::IoStatus::kEof) {
+      close();
+      throw RpcError("rpc::Client: server closed the connection mid-call");
+    }
+    // kAgain cannot happen: the fd is blocking.
+    decoder_.append(std::string_view(buf, n));
+  }
+
+  if (frame.type == wire_code(MsgType::kError)) {
+    // The connection is still usable — the server only Errors on payload
+    // problems; framing problems close from its side.
+    throw RpcError(decode_error(frame.payload).message);
+  }
+  if (frame.type != wire_code(expected)) {
+    close();
+    throw RpcError(std::string("rpc::Client: expected ") + to_string(expected) +
+                   " reply, got type " + std::to_string(int(frame.type)));
+  }
+  return frame;
+}
+
+SubmitReply Client::submit_batch(const std::string& tenant,
+                                 const std::vector<sim::ScenarioSpec>& specs) {
+  SubmitBatchRequest req;
+  req.tenant = tenant;
+  req.specs = specs;
+  const Frame reply = call(MsgType::kSubmitBatch, encode_submit_batch(req),
+                           MsgType::kSubmitReply);
+  return decode_submit_reply(reply.payload);
+}
+
+service::JobState Client::job_state(service::JobId id) {
+  const Frame reply = call(MsgType::kJobStatus, encode_job_status({id}),
+                           MsgType::kJobStatusReply);
+  return decode_job_status_reply(reply.payload).state;
+}
+
+JobResultReply Client::fetch_result(service::JobId id, bool wait) {
+  const Frame reply = call(MsgType::kJobResult, encode_job_result({id, wait}),
+                           MsgType::kJobResultReply);
+  return decode_job_result_reply(reply.payload);
+}
+
+bool Client::cancel(service::JobId id) {
+  const Frame reply =
+      call(MsgType::kCancelJob, encode_cancel({id}), MsgType::kCancelReply);
+  return decode_cancel_reply(reply.payload).cancelled;
+}
+
+service::ServiceStats Client::stats() {
+  return service::stats_from_string(stats_text());
+}
+
+std::string Client::stats_text() {
+  Frame reply = call(MsgType::kStats, encode_stats_request(), MsgType::kStatsReply);
+  return std::move(reply.payload);
+}
+
+void Client::shutdown_server(service::SchedulerService::StopMode mode) {
+  const Frame reply =
+      call(MsgType::kShutdown, encode_shutdown({mode}), MsgType::kShutdownReply);
+  decode_shutdown_reply(reply.payload);
+}
+
+}  // namespace nowsched::rpc

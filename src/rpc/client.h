@@ -1,0 +1,70 @@
+// Blocking nowsched-rpc v1 client: one Unix-domain connection, one
+// outstanding request at a time (send, then block until the matching reply
+// frame arrives — the ordering contract the server's parked-fetch logic
+// guarantees per connection).
+//
+// Every method throws RpcError when the daemon answers with an Error frame,
+// the reply type is unexpected, or the connection drops mid-call;
+// std::system_error surfaces transport-level failures. The remote surface
+// mirrors the in-process JobTicket API one-for-one, which is what lets the
+// conformance differential drive both through the same test body.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "rpc/protocol.h"
+#include "service/service_stats.h"
+#include "util/socket.h"
+
+namespace nowsched::rpc {
+
+class RpcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws std::system_error when nothing listens.
+  explicit Client(const std::string& socket_path);
+
+  /// Remote SchedulerService::submit_job. The reply's job_id is the ticket
+  /// (0 when the status is a rejection).
+  SubmitReply submit_batch(const std::string& tenant,
+                           const std::vector<sim::ScenarioSpec>& specs);
+
+  /// Remote SchedulerService::job_state.
+  service::JobState job_state(service::JobId id);
+
+  /// Remote SchedulerService::fetch_result. wait=true parks server-side
+  /// until the job is terminal; wait=false returns the current state
+  /// immediately (result fields filled only when state == kDone).
+  JobResultReply fetch_result(service::JobId id, bool wait = true);
+
+  /// Remote SchedulerService::cancel.
+  bool cancel(service::JobId id);
+
+  /// Stats snapshot, parsed from the daemon's `nowsched-stats v1` payload.
+  service::ServiceStats stats();
+  /// The raw `nowsched-stats v1` text (for printing / differential tests).
+  std::string stats_text();
+
+  /// Asks the daemon to shut down (drain or cancel-queued) and waits for
+  /// the acknowledgement.
+  void shutdown_server(service::SchedulerService::StopMode mode);
+
+  /// Closes the connection; further calls throw. Idempotent.
+  void close() noexcept { fd_.reset(); }
+  bool connected() const noexcept { return fd_.valid(); }
+
+ private:
+  Frame call(MsgType request, const std::string& payload, MsgType expected);
+
+  util::Fd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace nowsched::rpc

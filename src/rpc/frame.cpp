@@ -1,0 +1,102 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nowsched::rpc {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(std::uint8_t type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw std::length_error("nowsched-rpc: payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the " + std::to_string(kMaxPayload) +
+                            "-byte frame cap");
+  }
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');  // reserved
+  out.push_back('\0');
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::append(std::string_view bytes) {
+  if (poisoned_) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state appends stay amortized O(1).
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (poisoned_) return DecodeStatus::kError;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kHeaderSize) return DecodeStatus::kNeedMore;
+  const char* header = buf_.data() + consumed_;
+
+  // Validate eagerly — a bad header is reportable as soon as 12 bytes are
+  // in, even if the (bogus) payload length never arrives.
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    poisoned_ = true;
+    error_ = "nowsched-rpc: bad magic (not a nowsched-rpc stream)";
+    return DecodeStatus::kError;
+  }
+  const auto version = static_cast<std::uint8_t>(header[4]);
+  if (version != kProtocolVersion) {
+    poisoned_ = true;
+    error_ = "nowsched-rpc: unsupported protocol version " +
+             std::to_string(static_cast<int>(version)) + " (expected " +
+             std::to_string(static_cast<int>(kProtocolVersion)) + ")";
+    return DecodeStatus::kError;
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    poisoned_ = true;
+    error_ = "nowsched-rpc: nonzero reserved bytes in frame header";
+    return DecodeStatus::kError;
+  }
+  const std::uint32_t payload_len = get_u32le(header + 8);
+  if (payload_len > kMaxPayload) {
+    poisoned_ = true;
+    error_ = "nowsched-rpc: declared payload of " + std::to_string(payload_len) +
+             " bytes exceeds the " + std::to_string(kMaxPayload) +
+             "-byte frame cap";
+    return DecodeStatus::kError;
+  }
+
+  if (avail < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+  out.type = static_cast<std::uint8_t>(header[5]);
+  out.payload.assign(header + kHeaderSize, payload_len);
+  consumed_ += kHeaderSize + payload_len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace nowsched::rpc

@@ -1,0 +1,73 @@
+// nowsched-rpc v1 framing: the byte layout every message travels in, plus
+// an incremental decoder that tolerates arbitrary read fragmentation.
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic "NWRP"
+//        4     1  version (== 1)
+//        5     1  message type (rpc::MsgType wire code)
+//        6     2  reserved, must be 0 (strict: nonzero is an error)
+//        8     4  payload length, unsigned little-endian
+//       12     N  payload bytes (text, format depends on type)
+//
+// The decoder is a pure state machine over appended bytes: it never reads a
+// socket itself, so tests can split input at every byte boundary. Malformed
+// input (bad magic, unknown version, nonzero reserved, oversized length)
+// moves it into a sticky error state — framing corruption is never
+// resynchronizable, the connection must be dropped. That is the typed-error
+// guarantee the adversity tests pin: garbage in, DecodeStatus::kError out,
+// never a crash or hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nowsched::rpc {
+
+inline constexpr char kMagic[4] = {'N', 'W', 'R', 'P'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Hard payload cap: a length field beyond this is rejected before any
+/// allocation, so a corrupt or hostile header cannot balloon memory.
+inline constexpr std::uint32_t kMaxPayload = 16u * 1024u * 1024u;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Encodes one frame. Throws std::length_error when payload > kMaxPayload.
+std::string encode_frame(std::uint8_t type, std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< no complete frame buffered yet — feed more bytes
+  kFrame,     ///< `out` holds the next frame
+  kError,     ///< stream corrupt (see error()); decoder is poisoned
+};
+
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the transport. No-op once poisoned.
+  void append(std::string_view bytes);
+
+  /// Extracts the next complete frame into `out` if one is buffered.
+  /// kNeedMore leaves `out` untouched. Call in a loop: one append may
+  /// complete several frames.
+  DecodeStatus next(Frame& out);
+
+  /// Human-readable reason after kError; empty otherwise.
+  const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames (diagnostics/tests).
+  std::size_t buffered() const noexcept { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_ = 0;  ///< prefix of buf_ already handed out
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace nowsched::rpc

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,45 @@
 namespace nowsched::service {
 
 using JobId = std::uint64_t;
+
+/// Lifecycle of a ticket-tracked job as observed through the JobTicket
+/// handle API (and over nowsched-rpc v1). The numeric values are FROZEN
+/// WIRE CODES — they appear verbatim in JobStatusReply/JobResultReply
+/// frames, so they must never be renumbered or reused.
+enum class JobState : int {
+  kUnknown = 0,    ///< no such job (never existed, or its result was fetched)
+  kQueued = 1,     ///< admitted, waiting for the queue policy to pick it
+  kRunning = 2,    ///< a worker is executing the scenario batch
+  kDone = 3,       ///< finished; the JobResult awaits exactly one fetch
+  kFailed = 4,     ///< execution threw; the error text awaits one fetch
+  kCancelled = 5,  ///< cancelled before it ran (cancel() or shutdown)
+};
+
+/// Stable text names ("unknown", "queued", ...) for logs and the wire
+/// protocol's human-readable fields.
+const char* to_string(JobState state);
+
+/// Strict inverse of to_string(JobState); throws std::invalid_argument on
+/// an unknown name (the util/parse.h discipline: typos never pass).
+JobState job_state_from_string(const std::string& name);
+
+/// The frozen numeric wire code (see the enum). Kept as a named function so
+/// call sites say what they mean instead of scattering static_casts.
+constexpr int wire_code(JobState state) noexcept { return static_cast<int>(state); }
+
+/// Inverse of wire_code; nullopt on a code v1 never assigned.
+std::optional<JobState> job_state_from_wire(int code) noexcept;
+
+/// The pollable handle submit_job hands back: a request id plus the tenant
+/// it was issued to. Tickets are plain values — they can cross process
+/// boundaries (the daemon sends the id over the wire) and outlive the
+/// future-based shim entirely.
+struct JobTicket {
+  JobId id = 0;
+  std::string tenant;
+
+  bool valid() const noexcept { return id != 0; }
+};
 
 /// What a completed job hands back through its future.
 struct JobResult {

@@ -15,6 +15,20 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+constexpr const char* kCancelledMessage =
+    "SchedulerService: job cancelled before execution";
+
+constexpr SubmitStatus kAllSubmitStatuses[] = {
+    SubmitStatus::kAccepted,        SubmitStatus::kQueueFullTenant,
+    SubmitStatus::kQueueFullGlobal, SubmitStatus::kThrottled,
+    SubmitStatus::kInvalidScenario, SubmitStatus::kShuttingDown,
+};
+
+constexpr JobState kAllJobStates[] = {
+    JobState::kUnknown, JobState::kQueued,    JobState::kRunning,
+    JobState::kDone,    JobState::kFailed,    JobState::kCancelled,
+};
+
 }  // namespace
 
 const char* to_string(SubmitStatus status) {
@@ -27,6 +41,46 @@ const char* to_string(SubmitStatus status) {
     case SubmitStatus::kShuttingDown: return "shutting-down";
   }
   return "?";
+}
+
+SubmitStatus submit_status_from_string(const std::string& name) {
+  for (SubmitStatus status : kAllSubmitStatuses) {
+    if (name == to_string(status)) return status;
+  }
+  throw std::invalid_argument("unknown submit status: '" + name + "'");
+}
+
+std::optional<SubmitStatus> submit_status_from_wire(int code) noexcept {
+  for (SubmitStatus status : kAllSubmitStatuses) {
+    if (code == wire_code(status)) return status;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kUnknown: return "unknown";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobState job_state_from_string(const std::string& name) {
+  for (JobState state : kAllJobStates) {
+    if (name == to_string(state)) return state;
+  }
+  throw std::invalid_argument("unknown job state: '" + name + "'");
+}
+
+std::optional<JobState> job_state_from_wire(int code) noexcept {
+  for (JobState state : kAllJobStates) {
+    if (code == wire_code(state)) return state;
+  }
+  return std::nullopt;
 }
 
 bool is_backpressure(SubmitStatus status) noexcept {
@@ -63,8 +117,9 @@ SchedulerService::Tenant& SchedulerService::tenant_locked(const std::string& id)
   return it->second;
 }
 
-Submission SchedulerService::submit(const std::string& tenant,
-                                    std::vector<sim::ScenarioSpec> specs) {
+Submission SchedulerService::admit(const std::string& tenant,
+                                   std::vector<sim::ScenarioSpec> specs,
+                                   bool ticketed) {
   if (tenant.empty()) {
     throw std::invalid_argument("SchedulerService::submit: empty tenant id");
   }
@@ -143,6 +198,15 @@ Submission SchedulerService::submit(const std::string& tenant,
     out.job_id = job.id;
     out.result = job.promise.get_future();
 
+    if (ticketed) {
+      // The record MUST land under the same critical section that enqueues
+      // the job: a worker popping it transitions the record it FINDS, so a
+      // late insert would shadow kRunning/kDone forever.
+      JobRecord record;
+      record.future = out.result.share();  // out.result becomes invalid
+      jobs_.emplace(job.id, std::move(record));
+    }
+
     ++t.accepted_jobs;
     t.submitted_scenarios += cost;
     ++t.queued_jobs;
@@ -152,6 +216,137 @@ Submission SchedulerService::submit(const std::string& tenant,
   }
   work_cv_.notify_one();
   return out;
+}
+
+TicketSubmission SchedulerService::submit_job(const std::string& tenant,
+                                              std::vector<sim::ScenarioSpec> specs) {
+  Submission sub = admit(tenant, std::move(specs), /*ticketed=*/true);
+  TicketSubmission out;
+  out.status = sub.status;
+  out.reason = std::move(sub.reason);
+  if (!sub.accepted()) return out;
+  out.ticket.id = sub.job_id;
+  out.ticket.tenant = tenant;
+  return out;
+}
+
+Submission SchedulerService::submit(const std::string& tenant,
+                                    std::vector<sim::ScenarioSpec> specs) {
+  return admit(tenant, std::move(specs), /*ticketed=*/false);
+}
+
+JobState SchedulerService::job_state(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return JobState::kUnknown;
+  // A cancel that has not been settled by the pop path yet is already
+  // decided: report it as cancelled so poll loops converge immediately.
+  if (it->second.cancel_requested && it->second.state == JobState::kQueued) {
+    return JobState::kCancelled;
+  }
+  return it->second.state;
+}
+
+FetchOutcome SchedulerService::fetch_result(JobId id, bool wait) {
+  for (;;) {
+    std::shared_future<JobResult> future;
+    JobState state = JobState::kUnknown;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) {
+        FetchOutcome out;
+        out.state = JobState::kUnknown;
+        return out;
+      }
+      JobRecord& record = it->second;
+      state = record.state;
+      if (record.cancel_requested && state == JobState::kQueued) {
+        // Decided but not yet settled by the pop path. Mark it fetched so
+        // settlement erases the record — this IS the one fetch.
+        record.fetched = true;
+        FetchOutcome out;
+        out.state = JobState::kCancelled;
+        out.error = kCancelledMessage;
+        return out;
+      }
+      const bool terminal = state == JobState::kDone ||
+                            state == JobState::kFailed ||
+                            state == JobState::kCancelled;
+      if (terminal) {
+        // Exactly-once: the record is gone before the lock drops, so a
+        // second fetch (or a concurrent one) sees kUnknown.
+        future = std::move(record.future);
+        jobs_.erase(it);
+      } else if (wait) {
+        future = record.future;  // copy; the record stays for state polls
+      } else {
+        FetchOutcome out;
+        out.state = state;
+        return out;
+      }
+    }
+
+    FetchOutcome out;
+    out.state = state;
+    if (state == JobState::kDone) {
+      out.result = future.get();  // ready: state was terminal under mu_
+      return out;
+    }
+    if (state == JobState::kFailed || state == JobState::kCancelled) {
+      try {
+        future.get();
+        out.error = "unknown error";  // unreachable: terminal non-done holds one
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown error";
+      }
+      return out;
+    }
+    // Pending and wait requested: block outside mu_ until the job resolves,
+    // then loop — the next pass observes a terminal state and consumes it.
+    future.wait();
+  }
+}
+
+bool SchedulerService::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRecord& record = it->second;
+  if (record.state != JobState::kQueued || record.cancel_requested) return false;
+  // Lazy cancellation: QueuePolicy has no random-access erase, so the flag
+  // is settled (counters, promise, record state) when the pop path next
+  // encounters the job. Observers see kCancelled immediately (job_state /
+  // fetch_result special-case the flag).
+  record.cancel_requested = true;
+  return true;
+}
+
+bool SchedulerService::forget(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRecord& record = it->second;
+  switch (record.state) {
+    case JobState::kQueued:
+      // Never run work nobody will read; settlement erases the record.
+      record.cancel_requested = true;
+      record.fetched = true;
+      return true;
+    case JobState::kRunning:
+      record.fetched = true;  // execute() erases on completion
+      return true;
+    default:
+      jobs_.erase(it);
+      return true;
+  }
+}
+
+void SchedulerService::set_completion_hook(std::function<void(JobId)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completion_hook_ = std::move(hook);
 }
 
 void SchedulerService::set_tenant_quota(const std::string& tenant,
@@ -171,22 +366,66 @@ void SchedulerService::set_tenant_quota(const std::string& tenant,
   cache->set_max_bytes(bytes);
 }
 
+bool SchedulerService::next_runnable_locked(QueuedJob& job, Tenant*& tenant,
+                                            std::vector<QueuedJob>& cancelled) {
+  while (!queue_->empty()) {
+    QueuedJob next = queue_->pop();
+    Tenant& t = tenants_.find(next.tenant)->second;
+    --queued_total_;
+    --t.queued_jobs;
+
+    const auto it = jobs_.find(next.id);
+    if (it != jobs_.end() && it->second.cancel_requested) {
+      // Lazy cancel settlement: the job leaves the queue here, so this is
+      // where its admission bookkeeping unwinds (keeping the conservation
+      // law accepted == completed + failed + cancelled + queued + inflight).
+      t.pending_scenarios -= next.cost;
+      ++t.cancelled_jobs;
+      it->second.state = JobState::kCancelled;
+      if (it->second.fetched) jobs_.erase(it);
+      cancelled.push_back(std::move(next));
+      continue;
+    }
+    if (it != jobs_.end()) it->second.state = JobState::kRunning;
+    ++inflight_total_;
+    ++t.inflight_jobs;
+    job = std::move(next);
+    tenant = &t;
+    return true;
+  }
+  return false;
+}
+
+void SchedulerService::settle_cancelled(std::vector<QueuedJob>& cancelled) {
+  if (cancelled.empty()) return;
+  std::function<void(JobId)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = completion_hook_;
+  }
+  for (QueuedJob& job : cancelled) {
+    job.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(kCancelledMessage)));
+    if (hook) hook(job.id);
+  }
+  idle_cv_.notify_all();  // drain() may be waiting on the queue running dry
+  cancelled.clear();
+}
+
 void SchedulerService::worker_loop() {
   for (;;) {
     QueuedJob job;
     Tenant* tenant = nullptr;
+    std::vector<QueuedJob> cancelled;
+    bool runnable = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_workers_ || !queue_->empty(); });
       if (queue_->empty()) return;  // stop_workers_ and nothing left to run
-      job = queue_->pop();
-      tenant = &tenants_.find(job.tenant)->second;
-      --queued_total_;
-      --tenant->queued_jobs;
-      ++inflight_total_;
-      ++tenant->inflight_jobs;
+      runnable = next_runnable_locked(job, tenant, cancelled);
     }
-    execute(std::move(job), *tenant);
+    settle_cancelled(cancelled);
+    if (runnable) execute(std::move(job), *tenant);
   }
 }
 
@@ -198,18 +437,20 @@ bool SchedulerService::run_next() {
   }
   QueuedJob job;
   Tenant* tenant = nullptr;
+  std::vector<QueuedJob> cancelled;
+  bool runnable = false;
+  bool popped_any = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_->empty()) return false;
-    job = queue_->pop();
-    tenant = &tenants_.find(job.tenant)->second;
-    --queued_total_;
-    --tenant->queued_jobs;
-    ++inflight_total_;
-    ++tenant->inflight_jobs;
+    runnable = next_runnable_locked(job, tenant, cancelled);
+    popped_any = runnable || !cancelled.empty();
   }
-  execute(std::move(job), *tenant);
-  return true;
+  settle_cancelled(cancelled);
+  if (runnable) execute(std::move(job), *tenant);
+  // True when any queue entry was consumed — a run OR a cancel settlement —
+  // so `while (service.run_next()) {}` still pumps the queue dry.
+  return popped_any;
 }
 
 void SchedulerService::execute(QueuedJob job, Tenant& tenant) {
@@ -229,6 +470,7 @@ void SchedulerService::execute(QueuedJob job, Tenant& tenant) {
   }
   result.latency_ms = ms_since(job.submitted_at);
 
+  std::function<void(JobId)> hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_total_;
@@ -242,6 +484,18 @@ void SchedulerService::execute(QueuedJob job, Tenant& tenant) {
     } else {
       ++tenant.failed_jobs;
     }
+    const auto it = jobs_.find(job.id);
+    if (it != jobs_.end()) {
+      if (it->second.fetched) {
+        // The ticket holder already walked away (forget / fetch of a
+        // cancelled state cannot reach here, but forget-while-running does):
+        // the terminal record has no reader, drop it now.
+        jobs_.erase(it);
+      } else {
+        it->second.state = error == nullptr ? JobState::kDone : JobState::kFailed;
+      }
+    }
+    hook = completion_hook_;
   }
   idle_cv_.notify_all();
 
@@ -252,6 +506,9 @@ void SchedulerService::execute(QueuedJob job, Tenant& tenant) {
   } else {
     job.promise.set_exception(std::move(error));
   }
+  // Hook AFTER fulfillment: a waiter woken by the hook must find the future
+  // ready (fetch_result never blocks after the hook fires for its id).
+  if (hook) hook(job.id);
 }
 
 void SchedulerService::drain() {
@@ -268,6 +525,7 @@ void SchedulerService::shutdown(StopMode mode) {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
 
   std::vector<QueuedJob> cancelled;
+  std::function<void(JobId)> hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
@@ -278,13 +536,20 @@ void SchedulerService::shutdown(StopMode mode) {
         t.pending_scenarios -= job.cost;
         ++t.cancelled_jobs;
         --queued_total_;
+        const auto it = jobs_.find(job.id);
+        if (it != jobs_.end()) {
+          it->second.state = JobState::kCancelled;
+          if (it->second.fetched) jobs_.erase(it);
+        }
         cancelled.push_back(std::move(job));
       });
     }
+    hook = completion_hook_;
   }
   for (QueuedJob& job : cancelled) {
     job.promise.set_exception(std::make_exception_ptr(
         std::runtime_error("SchedulerService: job cancelled by shutdown")));
+    if (hook) hook(job.id);
   }
 
   if (options_.workers == 0) {

@@ -45,8 +45,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -63,25 +65,65 @@
 
 namespace nowsched::service {
 
-enum class SubmitStatus {
-  kAccepted,
-  kQueueFullTenant,   ///< tenant queue-depth limit hit — retry later
-  kQueueFullGlobal,   ///< global queue-depth limit hit — retry later
-  kThrottled,         ///< tenant pending-scenario budget exceeded — retry later
-  kInvalidScenario,   ///< a spec failed validation; reason names the index
-  kShuttingDown,      ///< service no longer accepts work
+/// Admission verdicts. The numeric values are FROZEN WIRE CODES of
+/// nowsched-rpc v1 (they ride in every SubmitReply frame) — never renumber
+/// or reuse them; new statuses append.
+enum class SubmitStatus : int {
+  kAccepted = 0,
+  kQueueFullTenant = 1,  ///< tenant queue-depth limit hit — retry later
+  kQueueFullGlobal = 2,  ///< global queue-depth limit hit — retry later
+  kThrottled = 3,        ///< tenant pending-scenario budget exceeded — retry later
+  kInvalidScenario = 4,  ///< a spec failed validation; reason names the index
+  kShuttingDown = 5,     ///< service no longer accepts work
 };
 
 const char* to_string(SubmitStatus status);
+
+/// Strict inverse of to_string(SubmitStatus); throws std::invalid_argument
+/// on an unknown name.
+SubmitStatus submit_status_from_string(const std::string& name);
+
+/// The frozen numeric wire code (see the enum).
+constexpr int wire_code(SubmitStatus status) noexcept {
+  return static_cast<int>(status);
+}
+
+/// Inverse of wire_code; nullopt on a code v1 never assigned.
+std::optional<SubmitStatus> submit_status_from_wire(int code) noexcept;
 
 /// True for the overflow statuses a client is invited to retry on
 /// (kQueueFullTenant, kQueueFullGlobal, kThrottled) — the cooperative
 /// backpressure protocol. Invalid scenarios and shutdown are final.
 bool is_backpressure(SubmitStatus status) noexcept;
 
-/// What submit() hands back. On acceptance `result` is a valid future the
-/// job's JobResult (or execution exception) arrives on; on rejection
-/// `reason` says why and `result` is invalid.
+/// What submit_job() hands back: an admission verdict plus — on acceptance —
+/// the pollable JobTicket the client later passes to job_state() /
+/// fetch_result() / cancel(). This is the primary submit surface; it is
+/// what the nowsched-rpc v1 daemon speaks, and it behaves identically
+/// in-process and over the wire.
+struct TicketSubmission {
+  SubmitStatus status = SubmitStatus::kAccepted;
+  std::string reason;
+  JobTicket ticket;  ///< invalid (id 0) when rejected
+
+  bool accepted() const noexcept { return status == SubmitStatus::kAccepted; }
+};
+
+/// What fetch_result() hands back. `state` is the job's FINAL state for a
+/// consumed outcome (kDone/kFailed/kCancelled), its current state for a
+/// non-waiting probe of a pending job (kQueued/kRunning), or kUnknown when
+/// the id was never issued or its outcome was already fetched.
+struct FetchOutcome {
+  JobState state = JobState::kUnknown;
+  std::string error;  ///< set when state is kFailed or kCancelled
+  JobResult result;   ///< meaningful only when state == kDone
+
+  bool done() const noexcept { return state == JobState::kDone; }
+};
+
+/// DEPRECATED shim (kept for one release — see DESIGN.md §11): the original
+/// future-based submission result. New code uses submit_job()'s
+/// TicketSubmission; futures cannot cross the wire, tickets can.
 struct Submission {
   SubmitStatus status = SubmitStatus::kAccepted;
   std::string reason;
@@ -143,12 +185,61 @@ class SchedulerService {
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
 
-  /// Admits one job: `tenant`'s batch of scenarios. Never blocks on queue
-  /// pressure — overflow returns a backpressure status instead (see
-  /// SubmitStatus). Throws std::invalid_argument only on an empty tenant
-  /// id (a caller bug, not load).
+  /// Admits one job — `tenant`'s batch of scenarios — and returns a
+  /// pollable JobTicket. Never blocks on queue pressure: overflow returns a
+  /// backpressure status instead (see SubmitStatus). Throws
+  /// std::invalid_argument only on an empty tenant id (a caller bug, not
+  /// load). The job's lifecycle is then observed through job_state() and
+  /// consumed through fetch_result() — EXACTLY ONCE: the first fetch of a
+  /// terminal outcome releases the job record, after which the id reads
+  /// kUnknown. A ticket never fetched (and never forgotten) retains its
+  /// result for the service's lifetime.
+  TicketSubmission submit_job(const std::string& tenant,
+                              std::vector<sim::ScenarioSpec> specs);
+
+  /// Current state of a ticketed job; kUnknown when the id was never issued
+  /// by submit_job or its outcome was already fetched/forgotten. A job whose
+  /// cancel() was accepted reads kCancelled immediately, even while the
+  /// queue entry awaits its lazy removal.
+  JobState job_state(JobId id) const;
+
+  /// Consumes a ticketed job's outcome. With wait=true blocks until the job
+  /// reaches a terminal state; with wait=false returns the current state
+  /// without consuming anything when the job is still kQueued/kRunning.
+  /// Terminal outcomes are handed out exactly once — the record is released
+  /// and subsequent calls return kUnknown. Never throws on job failure: the
+  /// execution error comes back as text in FetchOutcome::error.
+  FetchOutcome fetch_result(JobId id, bool wait = true);
+
+  /// Requests cancellation of a still-queued job. Returns true when the
+  /// cancel is accepted (job was kQueued; it will never execute, its state
+  /// reads kCancelled at once, and its future/fetch resolves with a
+  /// cancellation error). Returns false for running, terminal, unknown, or
+  /// already-cancelled jobs — cancellation never preempts execution.
+  bool cancel(JobId id);
+
+  /// Releases interest in a ticketed job without consuming its result:
+  /// queued jobs are cancelled, running jobs finish but their outcome is
+  /// dropped on completion, terminal outcomes are discarded now. Returns
+  /// false when the id is unknown. The daemon calls this for every
+  /// unfetched job of a disconnected client, so abandoned tickets cannot
+  /// leak results.
+  bool forget(JobId id);
+
+  /// DEPRECATED shim (one release, DESIGN.md §11): the original future-only
+  /// submit. Same admission path and statuses as submit_job, but the job is
+  /// NOT ticket-tracked — job_state(sub.job_id) reads kUnknown and the
+  /// future is the only handle on the result.
   Submission submit(const std::string& tenant,
                     std::vector<sim::ScenarioSpec> specs);
+
+  /// Installs a hook invoked after a job reaches a terminal state — after
+  /// its counters, job-record state, and promise resolution are published,
+  /// outside the service lock. The RPC server uses it to wake its poll loop
+  /// the moment a parked result-wait can be answered. Pass nullptr to
+  /// clear. Hooks run on worker threads (or the run_next caller): keep them
+  /// cheap and non-blocking.
+  void set_completion_hook(std::function<void(JobId)> hook);
 
   /// Sets (or creates the tenant with) the tenant's cache byte quota.
   /// Resizing a live cache evicts down immediately, keep-newest preserved
@@ -218,10 +309,39 @@ class SchedulerService {
     std::size_t pending_scenarios = 0;
   };
 
+  /// Ticket bookkeeping for one submit_job. Guarded by mu_. The shared
+  /// future is the same promise chain the deprecated shim hands out — the
+  /// record only adds poll/fetch/cancel state on top, so exactly-once
+  /// resolution is untouched.
+  struct JobRecord {
+    JobState state = JobState::kQueued;
+    /// cancel() accepted while the queue entry awaits its lazy removal
+    /// (QueuePolicy has no random-access erase; the pop path settles it).
+    bool cancel_requested = false;
+    /// The outcome was already handed out or forgotten: release the record
+    /// as soon as the job leaves the queue/worker.
+    bool fetched = false;
+    std::shared_future<JobResult> future;
+  };
+
   void worker_loop();
   /// Runs `job` on the calling thread (no service lock held), updates the
   /// completion bookkeeping under the lock, then fulfills the promise.
   void execute(QueuedJob job, Tenant& tenant);
+  /// Shared admission path of submit_job and the deprecated submit. With
+  /// `ticketed` a JobRecord is registered under the same critical section
+  /// that enqueues the job (and the returned Submission's future is
+  /// consumed into it — the record becomes the only handle).
+  Submission admit(const std::string& tenant, std::vector<sim::ScenarioSpec> specs,
+                   bool ticketed);
+  /// Lock held: pops queued jobs, settling cancel-requested ones into
+  /// `cancelled` (their promises are resolved by the caller OUTSIDE mu_),
+  /// until a runnable job emerges (true) or the queue runs dry (false).
+  bool next_runnable_locked(QueuedJob& job, Tenant*& tenant,
+                            std::vector<QueuedJob>& cancelled);
+  /// Resolves the promises of pop-settled cancellations (outside mu_) and
+  /// fires the completion hook for each.
+  void settle_cancelled(std::vector<QueuedJob>& cancelled);
   /// Lock held: find-or-create the tenant record.
   Tenant& tenant_locked(const std::string& id);
 
@@ -238,6 +358,8 @@ class SchedulerService {
   // unordered_map: node stability lets execute() hold a Tenant& with mu_
   // released (the tenant's cache does its own locking).
   std::unordered_map<std::string, Tenant> tenants_;  // guarded by mu_
+  std::unordered_map<JobId, JobRecord> jobs_;        // guarded by mu_
+  std::function<void(JobId)> completion_hook_;       // guarded by mu_
 
   std::size_t queued_total_ = 0;    // guarded by mu_
   std::size_t inflight_total_ = 0;  // guarded by mu_

@@ -38,10 +38,10 @@ std::string fresh_outdir(const std::string& name) {
   return dir;
 }
 
-TEST(Registry, KnowsAllSixteenExperimentsInOrder) {
+TEST(Registry, KnowsAllSeventeenExperimentsInOrder) {
   register_all_experiments();
   const auto& registry = Registry::instance();
-  ASSERT_EQ(registry.size(), 16u);
+  ASSERT_EQ(registry.size(), 17u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const Experiment& e = registry.experiments()[i];
     EXPECT_EQ(e.id, "E" + std::to_string(i + 1));
@@ -56,7 +56,8 @@ TEST(Registry, KnowsAllSixteenExperimentsInOrder) {
   EXPECT_EQ(registry.find("E14"), registry.find("scenario_sweep"));
   EXPECT_EQ(registry.find("E15"), registry.find("sched_service"));
   EXPECT_EQ(registry.find("E16"), registry.find("policy_racing"));
-  EXPECT_EQ(registry.find("E17"), nullptr);
+  EXPECT_EQ(registry.find("E17"), registry.find("rpc_roundtrip"));
+  EXPECT_EQ(registry.find("E18"), nullptr);
   EXPECT_EQ(registry.find(""), nullptr);
 }
 
@@ -64,9 +65,9 @@ TEST(Registry, RegistrationIsIdempotentAndRejectsDuplicates) {
   register_all_experiments();
   register_all_experiments();  // second call must be a no-op
   auto& registry = Registry::instance();
-  EXPECT_EQ(registry.size(), 16u);
+  EXPECT_EQ(registry.size(), 17u);
   EXPECT_THROW(registry.add(registry.experiments()[0]), std::logic_error);
-  EXPECT_EQ(registry.size(), 16u);
+  EXPECT_EQ(registry.size(), 17u);
 }
 
 TEST(Tier, ParsesQuickAndFullSpellings) {

@@ -1,0 +1,201 @@
+// Daemon-vs-direct conformance differential: a generated multi-tenant
+// workload submitted through the FULL nowsched-rpc v1 stack (rpc::Client →
+// Unix socket → rpc::Server → SchedulerService) must hand back results
+// BIT-IDENTICAL to the same workload run against SchedulerService
+// in-process — per-scenario metrics field for field, latency excluded by
+// construction (it is the one field the wire cannot and must not pin).
+//
+// This is the acceptance test for the wire protocol: the SubmitBatch payload
+// embeds unmodified `nowsched-scenario v1` records and the JobResultReply
+// carries every metric as exact text, so any drift between the two paths is
+// a codec bug, not noise. Rides the same NOWSCHED_FUZZ_CASES tier knob as
+// the rest of the conformance binary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "conformance/conformance_harness.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "service/scheduler_service.h"
+#include "sim/batch_runner.h"
+#include "sim/metrics.h"
+#include "sim/scenario_gen.h"
+
+namespace nowsched::conformance {
+namespace {
+
+sim::ScenarioDomain rpc_domain() {
+  sim::ScenarioDomain domain;
+  domain.min_c = 2;
+  domain.max_c = 48;
+  domain.min_lifespan = 32;
+  domain.max_lifespan = 2048;
+  domain.min_interrupts = 0;
+  domain.max_interrupts = 4;
+  domain.contract_classes = 4;
+  domain.class_fraction = 0.6;
+  return domain;
+}
+
+void expect_metrics_eq(const sim::SessionMetrics& got,
+                       const sim::SessionMetrics& want, const std::string& where) {
+  EXPECT_EQ(got.banked_work, want.banked_work) << where;
+  EXPECT_EQ(got.task_work, want.task_work) << where;
+  EXPECT_EQ(got.comm_overhead, want.comm_overhead) << where;
+  EXPECT_EQ(got.lost_work, want.lost_work) << where;
+  EXPECT_EQ(got.salvaged_work, want.salvaged_work) << where;
+  EXPECT_EQ(got.fragmentation, want.fragmentation) << where;
+  EXPECT_EQ(got.lifespan_used, want.lifespan_used) << where;
+  EXPECT_EQ(got.interrupts, want.interrupts) << where;
+  EXPECT_EQ(got.episodes, want.episodes) << where;
+  EXPECT_EQ(got.periods_completed, want.periods_completed) << where;
+  EXPECT_EQ(got.periods_killed, want.periods_killed) << where;
+  EXPECT_EQ(got.tasks_completed, want.tasks_completed) << where;
+}
+
+/// One job per wire: first spec index, count, and the ticket on whichever
+/// surface issued it.
+struct PendingJob {
+  std::size_t first_index;
+  std::size_t count;
+  service::JobId ticket;
+};
+
+/// Deals `specs` into jobs of 1..13 scenarios across 3 tenants — the same
+/// carving for both surfaces, so job boundaries can't explain a divergence.
+template <typename SubmitFn>
+std::vector<PendingJob> deal_jobs(const std::vector<sim::ScenarioSpec>& specs,
+                                  SubmitFn&& submit) {
+  std::vector<PendingJob> jobs;
+  std::size_t cursor = 0;
+  std::size_t job_number = 0;
+  while (cursor < specs.size()) {
+    const std::size_t count =
+        std::min<std::size_t>(1 + (cursor * 7 + job_number * 3) % 13,
+                              specs.size() - cursor);
+    std::vector<sim::ScenarioSpec> batch(specs.begin() + cursor,
+                                         specs.begin() + cursor + count);
+    const char* tenants[] = {"t0", "t1", "t2"};
+    const service::JobId id =
+        submit(tenants[job_number % 3], std::move(batch));
+    if (id == 0) {
+      ADD_FAILURE() << "job " << job_number << " rejected";
+      return jobs;
+    }
+    jobs.push_back({cursor, count, id});
+    cursor += count;
+    ++job_number;
+  }
+  return jobs;
+}
+
+service::ServiceOptions open_admission(std::size_t jobs_bound) {
+  service::ServiceOptions options;
+  options.workers = 2;
+  options.queue = service::QueueKind::kDeficitRoundRobin;
+  options.drr_quantum = 4;
+  options.max_queued_jobs_per_tenant = jobs_bound + 1;
+  options.max_queued_jobs_total = jobs_bound + 1;
+  options.max_pending_scenarios_per_tenant = jobs_bound + 1;
+  options.tenant_cache_shards = 1;
+  return options;
+}
+
+TEST(RpcDifferential, DaemonMediatedResultsMatchDirectServiceBitForBit) {
+  const int cases = fuzz_cases(200);
+  const sim::ScenarioGenerator generator(rpc_domain(), /*seed=*/0x29C0FFEE);
+  std::vector<sim::ScenarioSpec> specs;
+  specs.reserve(static_cast<std::size_t>(cases));
+  for (int i = 0; i < cases; ++i) {
+    specs.push_back(generator.at(static_cast<std::uint64_t>(i)));
+  }
+
+  // Surface 1: SchedulerService in-process, JobTicket API.
+  std::vector<std::vector<sim::SessionMetrics>> direct_results;
+  {
+    service::SchedulerService service(open_admission(specs.size()));
+    const std::vector<PendingJob> jobs =
+        deal_jobs(specs, [&service](const char* tenant,
+                                    std::vector<sim::ScenarioSpec> batch) {
+          service::TicketSubmission sub =
+              service.submit_job(tenant, std::move(batch));
+          return sub.accepted() ? sub.ticket.id : 0;
+        });
+    ASSERT_FALSE(jobs.empty());
+    for (const PendingJob& job : jobs) {
+      service::FetchOutcome outcome = service.fetch_result(job.ticket);
+      ASSERT_TRUE(outcome.done()) << to_string(outcome.state);
+      ASSERT_EQ(outcome.result.batch.per_scenario.size(), job.count);
+      direct_results.push_back(std::move(outcome.result.batch.per_scenario));
+    }
+    service.shutdown(service::SchedulerService::StopMode::kDrain);
+  }
+
+  // Surface 2: the same workload through a live daemon over a real socket.
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("nowsched-rpc-diff-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  service::SchedulerService service(open_admission(specs.size()));
+  rpc::Server server(service, {socket_path, 8});
+  std::thread serve_thread([&server] { server.serve(); });
+
+  {
+    rpc::Client client(socket_path);
+    const std::vector<PendingJob> jobs =
+        deal_jobs(specs, [&client](const char* tenant,
+                                   std::vector<sim::ScenarioSpec> batch) {
+          const rpc::SubmitReply reply = client.submit_batch(tenant, batch);
+          return reply.status == service::SubmitStatus::kAccepted
+                     ? reply.job_id
+                     : 0;
+        });
+    ASSERT_EQ(jobs.size(), direct_results.size());
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const rpc::JobResultReply reply =
+          client.fetch_result(jobs[j].ticket, /*wait=*/true);
+      ASSERT_EQ(reply.state, service::JobState::kDone)
+          << "job " << j << ": " << reply.error;
+      ASSERT_EQ(reply.per_scenario.size(), jobs[j].count) << "job " << j;
+      // Exactly-once survived the wire: the ticket is consumed.
+      EXPECT_EQ(client.job_state(jobs[j].ticket), service::JobState::kUnknown);
+
+      for (std::size_t i = 0; i < jobs[j].count; ++i) {
+        expect_metrics_eq(reply.per_scenario[i], direct_results[j][i],
+                          "scenario #" +
+                              std::to_string(jobs[j].first_index + i));
+      }
+    }
+
+    client.shutdown_server(service::SchedulerService::StopMode::kDrain);
+  }
+  serve_thread.join();
+
+  // Both surfaces also agree with the ground-truth direct BatchRunner on a
+  // spot-check prefix (the service differential pins the full sweep).
+  const std::size_t spot = std::min<std::size_t>(specs.size(), 16);
+  sim::BatchRunner runner;
+  const sim::BatchResult want = runner.run(
+      std::vector<sim::ScenarioSpec>(specs.begin(), specs.begin() + spot));
+  std::size_t flat = 0;
+  for (std::size_t j = 0; j < direct_results.size() && flat < spot; ++j) {
+    for (std::size_t i = 0; i < direct_results[j].size() && flat < spot; ++i) {
+      expect_metrics_eq(direct_results[j][i], want.per_scenario[flat],
+                        "spot-check #" + std::to_string(flat));
+      ++flat;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nowsched::conformance

@@ -12,8 +12,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "conformance/conformance_harness.h"
@@ -88,7 +88,7 @@ void run_differential(const std::vector<sim::ScenarioSpec>& specs,
   struct PendingJob {
     std::size_t first_index;  ///< position of the job's first spec in `specs`
     std::size_t count;
-    std::future<service::JobResult> result;
+    service::JobId ticket;
   };
   std::vector<PendingJob> jobs;
   std::size_t cursor = 0;
@@ -100,18 +100,22 @@ void run_differential(const std::vector<sim::ScenarioSpec>& specs,
     std::vector<sim::ScenarioSpec> batch(specs.begin() + cursor,
                                          specs.begin() + cursor + count);
     const char* tenants[] = {"t0", "t1", "t2"};
-    service::Submission sub =
-        service.submit(tenants[job_number % 3], std::move(batch));
+    service::TicketSubmission sub =
+        service.submit_job(tenants[job_number % 3], std::move(batch));
     ASSERT_TRUE(sub.accepted())
         << config.label << ": job " << job_number << " rejected: " << sub.reason;
-    jobs.push_back({cursor, count, std::move(sub.result)});
+    jobs.push_back({cursor, count, sub.ticket.id});
     cursor += count;
     ++job_number;
   }
   if (config.workers == 0) service.drain();
 
-  for (PendingJob& job : jobs) {
-    const service::JobResult result = job.result.get();
+  for (const PendingJob& job : jobs) {
+    service::FetchOutcome outcome = service.fetch_result(job.ticket);
+    ASSERT_TRUE(outcome.done())
+        << config.label << ": " << to_string(outcome.state) << " "
+        << outcome.error;
+    const service::JobResult result = std::move(outcome.result);
     ASSERT_EQ(result.batch.per_scenario.size(), job.count) << config.label;
     for (std::size_t i = 0; i < job.count; ++i) {
       expect_metrics_eq(result.batch.per_scenario[i],

@@ -1,6 +1,7 @@
 // service::SchedulerService — the deterministic half of the service battery:
 // manual-mode (workers == 0) scheduling-order tests per queue policy,
-// admission/backpressure rejection paths, per-tenant cache quota isolation
+// admission/backpressure rejection paths, the JobTicket lifecycle
+// (exactly-once fetch, cancel, forget), per-tenant cache quota isolation
 // and live resize, drain/shutdown semantics, and stats conservation laws.
 // Every assertion is an ordering or counting fact — never a timing one
 // (tests/service_stress_test.cpp adds the multi-threaded TSan half).
@@ -54,6 +55,22 @@ ServiceOptions manual_options(QueueKind queue, std::size_t quantum = 1) {
   return options;
 }
 
+/// submit_job that must be admitted; returns the ticket.
+JobTicket expect_accepted(SchedulerService& service, const std::string& tenant,
+                          std::vector<sim::ScenarioSpec> specs) {
+  TicketSubmission sub = service.submit_job(tenant, std::move(specs));
+  EXPECT_TRUE(sub.accepted()) << to_string(sub.status) << ": " << sub.reason;
+  return sub.ticket;
+}
+
+/// fetch_result that must consume a completed job; returns the result.
+JobResult fetch_done(SchedulerService& service, JobId id) {
+  FetchOutcome outcome = service.fetch_result(id);
+  EXPECT_TRUE(outcome.done())
+      << to_string(outcome.state) << ": " << outcome.error;
+  return std::move(outcome.result);
+}
+
 // Checks the per-tenant and global conservation laws the stats snapshot
 // promises. Holds at ANY quiescent point (and under load for the sums).
 void expect_conservation(const ServiceStats& stats) {
@@ -75,10 +92,12 @@ void expect_conservation(const ServiceStats& stats) {
 
 TEST(SchedulerService, ManualModeRunsASubmittedJobToCompletion) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  Submission sub = service.submit("alice", quick_batch(3, 100));
+  TicketSubmission sub = service.submit_job("alice", quick_batch(3, 100));
   ASSERT_TRUE(sub.accepted());
-  EXPECT_EQ(sub.job_id, 1u);
-  EXPECT_TRUE(sub.result.valid());
+  EXPECT_TRUE(sub.ticket.valid());
+  EXPECT_EQ(sub.ticket.id, 1u);
+  EXPECT_EQ(sub.ticket.tenant, "alice");
+  EXPECT_EQ(service.job_state(sub.ticket.id), JobState::kQueued);
 
   ServiceStats stats = service.stats();
   EXPECT_EQ(stats.queued_jobs, 1u);
@@ -87,8 +106,9 @@ TEST(SchedulerService, ManualModeRunsASubmittedJobToCompletion) {
 
   EXPECT_TRUE(service.run_next());
   EXPECT_FALSE(service.run_next());  // queue is empty now
+  EXPECT_EQ(service.job_state(sub.ticket.id), JobState::kDone);
 
-  JobResult result = sub.result.get();
+  JobResult result = fetch_done(service, sub.ticket.id);
   EXPECT_EQ(result.tenant, "alice");
   EXPECT_EQ(result.job_id, 1u);
   EXPECT_EQ(result.completion_index, 0u);
@@ -104,14 +124,14 @@ TEST(SchedulerService, ManualModeRunsASubmittedJobToCompletion) {
 
 TEST(SchedulerService, FifoCompletionOrderIsAdmissionOrder) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  std::vector<Submission> subs;
-  subs.push_back(service.submit("a", quick_batch(1, 1)));
-  subs.push_back(service.submit("b", quick_batch(1, 2)));
-  subs.push_back(service.submit("a", quick_batch(1, 3)));
-  subs.push_back(service.submit("c", quick_batch(1, 4)));
+  std::vector<JobTicket> tickets;
+  tickets.push_back(expect_accepted(service, "a", quick_batch(1, 1)));
+  tickets.push_back(expect_accepted(service, "b", quick_batch(1, 2)));
+  tickets.push_back(expect_accepted(service, "a", quick_batch(1, 3)));
+  tickets.push_back(expect_accepted(service, "c", quick_batch(1, 4)));
   service.drain();
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    EXPECT_EQ(subs[i].result.get().completion_index, i) << i;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(fetch_done(service, tickets[i].id).completion_index, i) << i;
   }
 }
 
@@ -119,13 +139,18 @@ TEST(SchedulerService, DrrInterleavesEqualCostTenantsRoundRobin) {
   // A bursts three 1-spec jobs before B's three: DRR still alternates
   // A B A B A B (quantum 1) — the service-level replay of the queue test.
   SchedulerService service(manual_options(QueueKind::kDeficitRoundRobin, 1));
-  std::vector<Submission> a_subs, b_subs;
-  for (int i = 0; i < 3; ++i) a_subs.push_back(service.submit("a", quick_batch(1, 10 + i)));
-  for (int i = 0; i < 3; ++i) b_subs.push_back(service.submit("b", quick_batch(1, 20 + i)));
+  std::vector<JobTicket> a_tickets, b_tickets;
+  for (int i = 0; i < 3; ++i) {
+    a_tickets.push_back(expect_accepted(service, "a", quick_batch(1, 10 + i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    b_tickets.push_back(expect_accepted(service, "b", quick_batch(1, 20 + i)));
+  }
   service.drain();
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(a_subs[i].result.get().completion_index, 2 * i) << i;
-    EXPECT_EQ(b_subs[i].result.get().completion_index, 2 * i + 1) << i;
+    EXPECT_EQ(fetch_done(service, a_tickets[i].id).completion_index, 2 * i) << i;
+    EXPECT_EQ(fetch_done(service, b_tickets[i].id).completion_index, 2 * i + 1)
+        << i;
   }
 }
 
@@ -133,16 +158,20 @@ TEST(SchedulerService, DrrMetersByScenarioCostNotJobCount) {
   // A: two 3-scenario jobs; B: six 1-scenario jobs; quantum 1. Expected
   // completion order (hand-traced DRR): B B A B B B A B — indices below.
   SchedulerService service(manual_options(QueueKind::kDeficitRoundRobin, 1));
-  std::vector<Submission> a_subs, b_subs;
-  a_subs.push_back(service.submit("a", quick_batch(3, 100)));
-  a_subs.push_back(service.submit("a", quick_batch(3, 200)));
-  for (int i = 0; i < 6; ++i) b_subs.push_back(service.submit("b", quick_batch(1, 300 + i)));
+  std::vector<JobTicket> a_tickets, b_tickets;
+  a_tickets.push_back(expect_accepted(service, "a", quick_batch(3, 100)));
+  a_tickets.push_back(expect_accepted(service, "a", quick_batch(3, 200)));
+  for (int i = 0; i < 6; ++i) {
+    b_tickets.push_back(expect_accepted(service, "b", quick_batch(1, 300 + i)));
+  }
   service.drain();
-  EXPECT_EQ(a_subs[0].result.get().completion_index, 2u);
-  EXPECT_EQ(a_subs[1].result.get().completion_index, 6u);
+  EXPECT_EQ(fetch_done(service, a_tickets[0].id).completion_index, 2u);
+  EXPECT_EQ(fetch_done(service, a_tickets[1].id).completion_index, 6u);
   const std::vector<std::uint64_t> b_expected = {0, 1, 3, 4, 5, 7};
-  for (std::size_t i = 0; i < b_subs.size(); ++i) {
-    EXPECT_EQ(b_subs[i].result.get().completion_index, b_expected[i]) << i;
+  for (std::size_t i = 0; i < b_tickets.size(); ++i) {
+    EXPECT_EQ(fetch_done(service, b_tickets[i].id).completion_index,
+              b_expected[i])
+        << i;
   }
 }
 
@@ -150,13 +179,15 @@ TEST(SchedulerService, FifoIsTenantBlindUnderTheSameSkew) {
   // Same submission pattern as the DRR cost test, FIFO queue: A's burst
   // runs first in admission order — the unfairness DRR exists to fix.
   SchedulerService service(manual_options(QueueKind::kFifo));
-  std::vector<Submission> subs;
-  subs.push_back(service.submit("a", quick_batch(3, 100)));
-  subs.push_back(service.submit("a", quick_batch(3, 200)));
-  for (int i = 0; i < 6; ++i) subs.push_back(service.submit("b", quick_batch(1, 300 + i)));
+  std::vector<JobTicket> tickets;
+  tickets.push_back(expect_accepted(service, "a", quick_batch(3, 100)));
+  tickets.push_back(expect_accepted(service, "a", quick_batch(3, 200)));
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(expect_accepted(service, "b", quick_batch(1, 300 + i)));
+  }
   service.drain();
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    EXPECT_EQ(subs[i].result.get().completion_index, i) << i;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(fetch_done(service, tickets[i].id).completion_index, i) << i;
   }
 }
 
@@ -164,18 +195,18 @@ TEST(SchedulerService, TenantQueueDepthLimitRejectsWithReason) {
   ServiceOptions options = manual_options(QueueKind::kFifo);
   options.max_queued_jobs_per_tenant = 2;
   SchedulerService service(options);
-  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
-  ASSERT_TRUE(service.submit("a", quick_batch(1, 2)).accepted());
+  (void)expect_accepted(service, "a", quick_batch(1, 1));
+  (void)expect_accepted(service, "a", quick_batch(1, 2));
 
-  Submission rejected = service.submit("a", quick_batch(1, 3));
+  TicketSubmission rejected = service.submit_job("a", quick_batch(1, 3));
   EXPECT_EQ(rejected.status, SubmitStatus::kQueueFullTenant);
   EXPECT_TRUE(is_backpressure(rejected.status));
   EXPECT_FALSE(rejected.reason.empty());
-  EXPECT_EQ(rejected.job_id, 0u);
-  EXPECT_FALSE(rejected.result.valid());
+  EXPECT_FALSE(rejected.ticket.valid());
+  EXPECT_EQ(rejected.ticket.id, 0u);
 
   // Another tenant is unaffected by a's limit.
-  EXPECT_TRUE(service.submit("b", quick_batch(1, 4)).accepted());
+  (void)expect_accepted(service, "b", quick_batch(1, 4));
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.tenant("a")->rejected_tenant_full, 1u);
@@ -189,10 +220,10 @@ TEST(SchedulerService, GlobalQueueDepthLimitRejectsAnyTenant) {
   ServiceOptions options = manual_options(QueueKind::kFifo);
   options.max_queued_jobs_total = 2;
   SchedulerService service(options);
-  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
-  ASSERT_TRUE(service.submit("b", quick_batch(1, 2)).accepted());
+  (void)expect_accepted(service, "a", quick_batch(1, 1));
+  (void)expect_accepted(service, "b", quick_batch(1, 2));
 
-  Submission rejected = service.submit("c", quick_batch(1, 3));
+  TicketSubmission rejected = service.submit_job("c", quick_batch(1, 3));
   EXPECT_EQ(rejected.status, SubmitStatus::kQueueFullGlobal);
   EXPECT_TRUE(is_backpressure(rejected.status));
   EXPECT_EQ(service.stats().tenant("c")->rejected_global_full, 1u);
@@ -204,15 +235,16 @@ TEST(SchedulerService, ScenarioBudgetThrottlesBigBatches) {
   ServiceOptions options = manual_options(QueueKind::kFifo);
   options.max_pending_scenarios_per_tenant = 4;
   SchedulerService service(options);
-  ASSERT_TRUE(service.submit("a", quick_batch(3, 1)).accepted());
+  (void)expect_accepted(service, "a", quick_batch(3, 1));
 
-  Submission throttled = service.submit("a", quick_batch(3, 10));
+  TicketSubmission throttled = service.submit_job("a", quick_batch(3, 10));
   EXPECT_EQ(throttled.status, SubmitStatus::kThrottled);
   EXPECT_TRUE(is_backpressure(throttled.status));
   // A batch that still fits the budget is fine (3 pending + 1 <= 4)...
-  EXPECT_TRUE(service.submit("a", quick_batch(1, 20)).accepted());
+  (void)expect_accepted(service, "a", quick_batch(1, 20));
   // ...and now the budget is exactly exhausted.
-  EXPECT_EQ(service.submit("a", quick_batch(1, 30)).status, SubmitStatus::kThrottled);
+  EXPECT_EQ(service.submit_job("a", quick_batch(1, 30)).status,
+            SubmitStatus::kThrottled);
   EXPECT_EQ(service.stats().tenant("a")->rejected_throttled, 2u);
   service.drain();
 }
@@ -221,15 +253,14 @@ TEST(SchedulerService, BackpressureRetrySucceedsAfterCapacityFrees) {
   ServiceOptions options = manual_options(QueueKind::kFifo);
   options.max_queued_jobs_per_tenant = 1;
   SchedulerService service(options);
-  ASSERT_TRUE(service.submit("a", quick_batch(1, 1)).accepted());
-  Submission rejected = service.submit("a", quick_batch(1, 2));
+  (void)expect_accepted(service, "a", quick_batch(1, 1));
+  TicketSubmission rejected = service.submit_job("a", quick_batch(1, 2));
   ASSERT_TRUE(is_backpressure(rejected.status));
 
   ASSERT_TRUE(service.run_next());  // frees the tenant's queue slot
-  Submission retry = service.submit("a", quick_batch(1, 2));
-  EXPECT_TRUE(retry.accepted());
+  const JobTicket retry = expect_accepted(service, "a", quick_batch(1, 2));
   service.drain();
-  EXPECT_EQ(retry.result.get().completion_index, 1u);
+  EXPECT_EQ(fetch_done(service, retry.id).completion_index, 1u);
   expect_conservation(service.stats());
 }
 
@@ -238,12 +269,12 @@ TEST(SchedulerService, InvalidScenarioRejectedAtAdmission) {
 
   std::vector<sim::ScenarioSpec> bad = quick_batch(2, 1);
   bad[1].params = Params{0};  // invalid setup cost
-  Submission invalid = service.submit("a", std::move(bad));
+  TicketSubmission invalid = service.submit_job("a", std::move(bad));
   EXPECT_EQ(invalid.status, SubmitStatus::kInvalidScenario);
   EXPECT_FALSE(is_backpressure(invalid.status));
   EXPECT_NE(invalid.reason.find("#1"), std::string::npos) << invalid.reason;
 
-  Submission empty = service.submit("a", {});
+  TicketSubmission empty = service.submit_job("a", {});
   EXPECT_EQ(empty.status, SubmitStatus::kInvalidScenario);
 
   const ServiceStats stats = service.stats();
@@ -254,7 +285,8 @@ TEST(SchedulerService, InvalidScenarioRejectedAtAdmission) {
 
 TEST(SchedulerService, EmptyTenantIdIsACallerBug) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  EXPECT_THROW((void)service.submit("", quick_batch(1, 1)), std::invalid_argument);
+  EXPECT_THROW((void)service.submit_job("", quick_batch(1, 1)),
+               std::invalid_argument);
   EXPECT_THROW(service.set_tenant_quota("", 1024), std::invalid_argument);
 }
 
@@ -266,16 +298,142 @@ TEST(SchedulerService, RunNextThrowsWhenServiceOwnsWorkers) {
   service.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// JobTicket lifecycle: exactly-once fetch, probes, cancel, forget
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerService, FetchConsumesTheOutcomeExactlyOnce) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  const JobTicket ticket = expect_accepted(service, "a", quick_batch(2, 1));
+  ASSERT_TRUE(service.run_next());
+
+  const JobResult result = fetch_done(service, ticket.id);
+  EXPECT_EQ(result.batch.per_scenario.size(), 2u);
+
+  // The first terminal fetch released the record: the id is gone.
+  EXPECT_EQ(service.job_state(ticket.id), JobState::kUnknown);
+  const FetchOutcome again = service.fetch_result(ticket.id);
+  EXPECT_EQ(again.state, JobState::kUnknown);
+  EXPECT_FALSE(again.done());
+
+  // Completion counters are untouched by the release.
+  EXPECT_EQ(service.stats().tenant("a")->completed_jobs, 1u);
+  expect_conservation(service.stats());
+}
+
+TEST(SchedulerService, NonWaitingFetchProbesWithoutConsuming) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  const JobTicket ticket = expect_accepted(service, "a", quick_batch(1, 1));
+
+  // Probe while queued: reports kQueued, consumes nothing.
+  const FetchOutcome probe = service.fetch_result(ticket.id, /*wait=*/false);
+  EXPECT_EQ(probe.state, JobState::kQueued);
+  EXPECT_EQ(service.job_state(ticket.id), JobState::kQueued);
+
+  ASSERT_TRUE(service.run_next());
+  EXPECT_TRUE(service.fetch_result(ticket.id, /*wait=*/false).done());
+  EXPECT_EQ(service.job_state(ticket.id), JobState::kUnknown);
+}
+
+TEST(SchedulerService, WaitingFetchBlocksUntilWorkersFinishTheJob) {
+  ServiceOptions options;
+  options.workers = 2;
+  SchedulerService service(options);
+  const JobTicket ticket = expect_accepted(service, "a", quick_batch(3, 1));
+  // No drain: the fetch itself is the synchronization point.
+  const JobResult result = fetch_done(service, ticket.id);
+  EXPECT_EQ(result.batch.per_scenario.size(), 3u);
+  EXPECT_EQ(service.job_state(ticket.id), JobState::kUnknown);
+  service.shutdown();
+}
+
+TEST(SchedulerService, UnknownIdsReadUnknownEverywhere) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  EXPECT_EQ(service.job_state(0), JobState::kUnknown);
+  EXPECT_EQ(service.job_state(999), JobState::kUnknown);
+  EXPECT_EQ(service.fetch_result(999).state, JobState::kUnknown);
+  EXPECT_FALSE(service.cancel(999));
+  EXPECT_FALSE(service.forget(999));
+}
+
+TEST(SchedulerService, CancelQueuedJobSettlesAsCancelledWithConservation) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  const JobTicket first = expect_accepted(service, "a", quick_batch(1, 1));
+  const JobTicket victim = expect_accepted(service, "a", quick_batch(2, 2));
+  const JobTicket last = expect_accepted(service, "b", quick_batch(1, 3));
+
+  ASSERT_TRUE(service.cancel(victim.id));
+  // Visible immediately, before the queue entry is lazily removed.
+  EXPECT_EQ(service.job_state(victim.id), JobState::kCancelled);
+  EXPECT_FALSE(service.cancel(victim.id));  // second cancel is a no-op
+
+  service.drain();
+
+  // The cancelled job never executed; its neighbours completed in order.
+  EXPECT_EQ(fetch_done(service, first.id).completion_index, 0u);
+  EXPECT_EQ(fetch_done(service, last.id).completion_index, 1u);
+  FetchOutcome cancelled = service.fetch_result(victim.id);
+  EXPECT_EQ(cancelled.state, JobState::kCancelled);
+  EXPECT_FALSE(cancelled.error.empty());
+  EXPECT_EQ(service.job_state(victim.id), JobState::kUnknown);  // consumed
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, 2u);
+  EXPECT_EQ(stats.cancelled_jobs, 1u);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.tenant("a")->pending_scenarios, 0u);
+  expect_conservation(stats);
+}
+
+TEST(SchedulerService, CancelRefusesCompletedJobs) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  const JobTicket ticket = expect_accepted(service, "a", quick_batch(1, 1));
+  ASSERT_TRUE(service.run_next());
+  EXPECT_FALSE(service.cancel(ticket.id));  // already terminal
+  EXPECT_EQ(service.job_state(ticket.id), JobState::kDone);
+  (void)fetch_done(service, ticket.id);
+}
+
+TEST(SchedulerService, ForgetReleasesRecordsInEveryState) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+
+  // Forget a QUEUED job: it is cancelled (visible until the queue entry is
+  // lazily settled) and the record is erased at settlement, not handed out.
+  const JobTicket queued = expect_accepted(service, "a", quick_batch(1, 1));
+  EXPECT_TRUE(service.forget(queued.id));
+  EXPECT_EQ(service.job_state(queued.id), JobState::kCancelled);
+  while (service.run_next()) {
+  }
+  EXPECT_EQ(service.job_state(queued.id), JobState::kUnknown);
+
+  // Forget a TERMINAL job: the record is dropped without a fetch.
+  const JobTicket done = expect_accepted(service, "a", quick_batch(1, 2));
+  ASSERT_TRUE(service.run_next());
+  EXPECT_TRUE(service.forget(done.id));
+  EXPECT_EQ(service.job_state(done.id), JobState::kUnknown);
+  EXPECT_EQ(service.fetch_result(done.id).state, JobState::kUnknown);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled_jobs, 1u);  // the forgotten queued job
+  EXPECT_EQ(stats.completed_jobs, 1u);  // the forgotten done job still counts
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  expect_conservation(stats);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics
+// ---------------------------------------------------------------------------
+
 TEST(SchedulerService, ShutdownDrainCompletesQueuedWork) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  Submission a = service.submit("a", quick_batch(1, 1));
-  Submission b = service.submit("b", quick_batch(2, 2));
+  const JobTicket a = expect_accepted(service, "a", quick_batch(1, 1));
+  const JobTicket b = expect_accepted(service, "b", quick_batch(2, 2));
   service.shutdown(SchedulerService::StopMode::kDrain);
 
-  EXPECT_EQ(a.result.get().completion_index, 0u);
-  EXPECT_EQ(b.result.get().batch.per_scenario.size(), 2u);
+  EXPECT_EQ(fetch_done(service, a.id).completion_index, 0u);
+  EXPECT_EQ(fetch_done(service, b.id).batch.per_scenario.size(), 2u);
 
-  Submission late = service.submit("a", quick_batch(1, 3));
+  TicketSubmission late = service.submit_job("a", quick_batch(1, 3));
   EXPECT_EQ(late.status, SubmitStatus::kShuttingDown);
   EXPECT_FALSE(is_backpressure(late.status));
 
@@ -285,17 +443,20 @@ TEST(SchedulerService, ShutdownDrainCompletesQueuedWork) {
   expect_conservation(stats);
 }
 
-TEST(SchedulerService, ShutdownCancelFailsQueuedFutures) {
+TEST(SchedulerService, ShutdownCancelSettlesQueuedTickets) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  Submission done = service.submit("a", quick_batch(1, 1));
+  const JobTicket done = expect_accepted(service, "a", quick_batch(1, 1));
   ASSERT_TRUE(service.run_next());
-  Submission q1 = service.submit("a", quick_batch(1, 2));
-  Submission q2 = service.submit("b", quick_batch(1, 3));
+  const JobTicket q1 = expect_accepted(service, "a", quick_batch(1, 2));
+  const JobTicket q2 = expect_accepted(service, "b", quick_batch(1, 3));
   service.shutdown(SchedulerService::StopMode::kCancelQueued);
 
-  EXPECT_EQ(done.result.get().completion_index, 0u);  // completed work stands
-  EXPECT_THROW((void)q1.result.get(), std::runtime_error);
-  EXPECT_THROW((void)q2.result.get(), std::runtime_error);
+  EXPECT_EQ(fetch_done(service, done.id).completion_index, 0u);  // work stands
+  for (const JobId id : {q1.id, q2.id}) {
+    const FetchOutcome outcome = service.fetch_result(id);
+    EXPECT_EQ(outcome.state, JobState::kCancelled);
+    EXPECT_FALSE(outcome.error.empty());
+  }
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed_jobs, 1u);
@@ -310,9 +471,10 @@ TEST(SchedulerService, WorkerModeCompletesEverythingOnDrain) {
   ServiceOptions options;
   options.workers = 3;
   SchedulerService service(options);
-  std::vector<Submission> subs;
+  std::vector<JobTicket> tickets;
   for (int i = 0; i < 12; ++i) {
-    subs.push_back(service.submit(i % 2 == 0 ? "even" : "odd", quick_batch(2, 1000 + i)));
+    tickets.push_back(expect_accepted(service, i % 2 == 0 ? "even" : "odd",
+                                      quick_batch(2, 1000 + i)));
   }
   service.drain();
 
@@ -324,9 +486,9 @@ TEST(SchedulerService, WorkerModeCompletesEverythingOnDrain) {
 
   // completion_index values are a permutation of 0..11 (each assigned once
   // under the service lock) even though worker timing is nondeterministic.
-  std::vector<bool> seen(subs.size(), false);
-  for (Submission& sub : subs) {
-    const JobResult result = sub.result.get();
+  std::vector<bool> seen(tickets.size(), false);
+  for (const JobTicket& ticket : tickets) {
+    const JobResult result = fetch_done(service, ticket.id);
     ASSERT_LT(result.completion_index, seen.size());
     EXPECT_FALSE(seen[result.completion_index]);
     seen[result.completion_index] = true;
@@ -335,6 +497,36 @@ TEST(SchedulerService, WorkerModeCompletesEverythingOnDrain) {
   service.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated future-based shim (one release — see DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerService, DeprecatedSubmitShimStillResolvesFutures) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  Submission sub = service.submit("legacy", quick_batch(2, 1));
+  ASSERT_TRUE(sub.accepted());
+  EXPECT_TRUE(sub.result.valid());
+  ASSERT_TRUE(service.run_next());
+  const JobResult result = sub.result.get();
+  EXPECT_EQ(result.tenant, "legacy");
+  EXPECT_EQ(result.batch.per_scenario.size(), 2u);
+
+  // Shim submissions are NOT ticketed: the handle API never learns the id,
+  // so nothing leaks when the future is the only consumer.
+  EXPECT_EQ(service.job_state(sub.job_id), JobState::kUnknown);
+
+  // Cancel-queued shutdown surfaces as a broken future, as it always did.
+  Submission cancelled = service.submit("legacy", quick_batch(1, 2));
+  ASSERT_TRUE(cancelled.accepted());
+  service.shutdown(SchedulerService::StopMode::kCancelQueued);
+  EXPECT_THROW((void)cancelled.result.get(), std::runtime_error);
+  expect_conservation(service.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Cache quotas and stats
+// ---------------------------------------------------------------------------
+
 TEST(SchedulerService, QuotaIsolationHostileTenantCannotEvictQuietTenant) {
   ServiceOptions options = manual_options(QueueKind::kFifo);
   options.tenant_cache_shards = 1;            // one shard: eviction observable
@@ -342,19 +534,17 @@ TEST(SchedulerService, QuotaIsolationHostileTenantCannotEvictQuietTenant) {
   SchedulerService service(options);
 
   // quiet warms its cache with one dp table...
-  Submission warm = service.submit("quiet", {dp_spec(512, 1)});
-  ASSERT_TRUE(warm.accepted());
+  (void)expect_accepted(service, "quiet", {dp_spec(512, 1)});
   service.drain();
 
   // ...then hog churns through many DISTINCT tables inside its own quota.
   for (int i = 0; i < 6; ++i) {
-    ASSERT_TRUE(service.submit("hog", {dp_spec(512 + 128 * i, 50 + i)}).accepted());
+    (void)expect_accepted(service, "hog", {dp_spec(512 + 128 * i, 50 + i)});
   }
   service.drain();
 
   // quiet re-runs the same contract: must be a pure cache hit.
-  Submission again = service.submit("quiet", {dp_spec(512, 2)});
-  ASSERT_TRUE(again.accepted());
+  (void)expect_accepted(service, "quiet", {dp_spec(512, 2)});
   service.drain();
 
   const ServiceStats stats = service.stats();
@@ -376,7 +566,7 @@ TEST(SchedulerService, ZeroQuotaTenantStillCompletesJobs) {
   service.set_tenant_quota("z", 0);
 
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(service.submit("z", {dp_spec(256 + 64 * i, 7 + i)}).accepted());
+    (void)expect_accepted(service, "z", {dp_spec(256 + 64 * i, 7 + i)});
   }
   service.drain();
 
@@ -397,7 +587,7 @@ TEST(SchedulerService, QuotaResizeShrinksLiveCacheAndGrowKeepsTables) {
   SchedulerService service(options);
 
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(service.submit("t", {dp_spec(256 + 128 * i, 90 + i)}).accepted());
+    (void)expect_accepted(service, "t", {dp_spec(256 + 128 * i, 90 + i)});
   }
   service.drain();
   const std::size_t resident_before = service.stats().tenant("t")->cache.resident_bytes;
@@ -420,7 +610,7 @@ TEST(SchedulerService, LatencyStatsCountCompletionsAndStayOrdered) {
   options.latency_window = 4;  // smaller than the completion count
   SchedulerService service(options);
   for (int i = 0; i < 6; ++i) {
-    ASSERT_TRUE(service.submit("a", quick_batch(1, 500 + i)).accepted());
+    (void)expect_accepted(service, "a", quick_batch(1, 500 + i));
   }
   service.drain();
 
@@ -439,9 +629,9 @@ TEST(SchedulerService, LatencyStatsCountCompletionsAndStayOrdered) {
 
 TEST(SchedulerService, StatsListsTenantsSortedAndSumsMatch) {
   SchedulerService service(manual_options(QueueKind::kFifo));
-  ASSERT_TRUE(service.submit("zeta", quick_batch(1, 1)).accepted());
-  ASSERT_TRUE(service.submit("alpha", quick_batch(2, 2)).accepted());
-  ASSERT_TRUE(service.submit("mid", quick_batch(3, 3)).accepted());
+  (void)expect_accepted(service, "zeta", quick_batch(1, 1));
+  (void)expect_accepted(service, "alpha", quick_batch(2, 2));
+  (void)expect_accepted(service, "mid", quick_batch(3, 3));
   service.drain();
 
   const ServiceStats stats = service.stats();
@@ -467,13 +657,13 @@ TEST(SchedulerService, SharedStoreServesAllTenantsAboveTheirPrivateQuotas) {
   ASSERT_NE(service.shared_store(), nullptr);
 
   // Tenant a solves a dp table — its fresh solve spills to the shared store.
-  ASSERT_TRUE(service.submit("a", {dp_spec(512, 1)}).accepted());
+  (void)expect_accepted(service, "a", {dp_spec(512, 1)});
   service.drain();
 
   // Tenant b runs the same contract: its PRIVATE cache is cold (no
   // cross-tenant RAM sharing — isolation is intact), but the shared store
   // converts its would-be solve into a mapped read.
-  ASSERT_TRUE(service.submit("b", {dp_spec(512, 2)}).accepted());
+  (void)expect_accepted(service, "b", {dp_spec(512, 2)});
   service.drain();
 
   const ServiceStats stats = service.stats();
@@ -501,10 +691,9 @@ TEST(SchedulerService, ResultsAreBitIdenticalWithAndWithoutTheSharedStore) {
     ServiceOptions options = manual_options(QueueKind::kFifo);
     options.shared_store_dir = store_dir;
     SchedulerService service(options);
-    Submission sub = service.submit("t", batch);
-    EXPECT_TRUE(sub.accepted());
+    const JobTicket ticket = expect_accepted(service, "t", batch);
     service.drain();
-    return sub.result.get();
+    return fetch_done(service, ticket.id);
   };
 
   nowsched::testing::TempDir dir("svc-bitid");

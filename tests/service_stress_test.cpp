@@ -2,14 +2,15 @@
 // battery (CI runs this suite with -DNOWSCHED_TSAN=ON). Assertions follow
 // the deflake discipline: conservation laws, permutation/ordering facts, and
 // bit-determinism of a canary scenario — never timing values, never "thread
-// X won" expectations.
+// X won" expectations. All submission goes through the JobTicket API; the
+// deprecated future shim keeps its single deterministic test in
+// tests/service_scheduler_test.cpp.
 #include "service/scheduler_service.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
-#include <future>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -75,7 +76,7 @@ TEST(SchedulerServiceStress, ConcurrentSubmittersConserveEveryCounter) {
   submitters.reserve(kSubmitters);
   for (int t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&service, &accepted, &rejected, &invalid, t] {
-      std::vector<std::future<JobResult>> futures;
+      std::vector<JobId> tickets;
       for (int i = 0; i < kPerThread; ++i) {
         const std::string tenant = "tenant-" + std::to_string(t % 3);
         std::vector<sim::ScenarioSpec> specs;
@@ -84,10 +85,10 @@ TEST(SchedulerServiceStress, ConcurrentSubmittersConserveEveryCounter) {
           specs.push_back(quick_spec(static_cast<std::uint64_t>(t * 1000 + i * 10 + k)));
         }
         if (i % 10 == 9) specs[0].params = Params{0};  // exercise the invalid path
-        Submission sub = service.submit(tenant, std::move(specs));
+        TicketSubmission sub = service.submit_job(tenant, std::move(specs));
         if (sub.accepted()) {
           ++accepted;
-          futures.push_back(std::move(sub.result));
+          tickets.push_back(sub.ticket.id);
         } else if (sub.status == SubmitStatus::kInvalidScenario) {
           ++invalid;
         } else {
@@ -95,9 +96,12 @@ TEST(SchedulerServiceStress, ConcurrentSubmittersConserveEveryCounter) {
           ++rejected;
         }
       }
-      for (auto& f : futures) {
-        const JobResult result = f.get();  // every accepted job resolves
-        ASSERT_FALSE(result.batch.per_scenario.empty());
+      for (const JobId id : tickets) {
+        // Every accepted ticket resolves, exactly once.
+        const FetchOutcome outcome = service.fetch_result(id);
+        ASSERT_TRUE(outcome.done()) << to_string(outcome.state);
+        ASSERT_FALSE(outcome.result.batch.per_scenario.empty());
+        ASSERT_EQ(service.job_state(id), JobState::kUnknown);
       }
     });
   }
@@ -147,15 +151,19 @@ TEST(SchedulerServiceStress, CanaryScenarioIsBitDeterministicUnderLoad) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&service, &canary, &want, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        // Interleave noise jobs from a different tenant and contract.
-        (void)service.submit("noise",
-                             {dp_spec(256 + 16 * ((t + i) % 4),
-                                      static_cast<std::uint64_t>(t * 100 + i))});
-        Submission sub = service.submit("canary-" + std::to_string(t), {canary});
+        // Interleave noise jobs from a different tenant and contract (their
+        // tickets are fetched below through the same blocking path).
+        TicketSubmission noise = service.submit_job(
+            "noise", {dp_spec(256 + 16 * ((t + i) % 4),
+                              static_cast<std::uint64_t>(t * 100 + i))});
+        TicketSubmission sub =
+            service.submit_job("canary-" + std::to_string(t), {canary});
+        if (noise.accepted()) (void)service.fetch_result(noise.ticket.id);
         if (!sub.accepted()) continue;  // backpressure is fine; results are not
-        const JobResult result = sub.result.get();
-        ASSERT_EQ(result.batch.per_scenario.size(), 1u);
-        expect_metrics_eq(result.batch.per_scenario[0], want);
+        const FetchOutcome outcome = service.fetch_result(sub.ticket.id);
+        ASSERT_TRUE(outcome.done()) << to_string(outcome.state);
+        ASSERT_EQ(outcome.result.batch.per_scenario.size(), 1u);
+        expect_metrics_eq(outcome.result.batch.per_scenario[0], want);
       }
     });
   }
@@ -193,27 +201,30 @@ TEST(SchedulerServiceStress, StatsAndQuotaResizeRaceExecution) {
     }
   });
 
-  std::vector<std::future<JobResult>> futures;
+  std::vector<JobId> tickets;
   for (int i = 0; i < 48; ++i) {
-    Submission sub = service.submit("t", {dp_spec(256 + 16 * (i % 6),
-                                                  static_cast<std::uint64_t>(i))});
-    if (sub.accepted()) futures.push_back(std::move(sub.result));
+    TicketSubmission sub = service.submit_job(
+        "t", {dp_spec(256 + 16 * (i % 6), static_cast<std::uint64_t>(i))});
+    if (sub.accepted()) tickets.push_back(sub.ticket.id);
   }
-  for (auto& f : futures) (void)f.get();
+  for (const JobId id : tickets) {
+    EXPECT_TRUE(service.fetch_result(id).done());
+  }
   stop.store(true);
   poller.join();
   resizer.join();
   service.drain();
 
   const ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.completed_jobs, futures.size());
+  EXPECT_EQ(stats.completed_jobs, tickets.size());
   EXPECT_EQ(stats.failed_jobs, 0u);
   service.shutdown();
 }
 
 TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
-  // Submitters race a cancel-shutdown: every accepted future must resolve
-  // (value or the cancel error) and completed + cancelled == accepted.
+  // Submitters race a cancel-shutdown: every accepted ticket must settle
+  // (kDone or kCancelled, never kUnknown/stuck) and completed + cancelled
+  // == accepted.
   ServiceOptions options;
   options.workers = 2;
   options.max_queued_jobs_total = 64;
@@ -222,21 +233,21 @@ TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
   std::atomic<std::uint64_t> accepted{0};
   constexpr int kSubmitters = 4;
   std::vector<std::thread> submitters;
-  std::vector<std::vector<std::future<JobResult>>> futures(kSubmitters);
+  std::vector<std::vector<JobId>> tickets(kSubmitters);
   submitters.reserve(kSubmitters);
   for (int t = 0; t < kSubmitters; ++t) {
-    submitters.emplace_back([&service, &accepted, &futures, t] {
+    submitters.emplace_back([&service, &accepted, &tickets, t] {
       // Assemble via append rather than operator+: string concatenation of
       // a literal with std::to_string trips a GCC 12 -Wrestrict false
       // positive (GCC bug 105651) when inlined under -O2.
       std::string tenant = "t";
       tenant += std::to_string(t);
       for (int i = 0; i < 30; ++i) {
-        Submission sub = service.submit(
+        TicketSubmission sub = service.submit_job(
             tenant, {quick_spec(static_cast<std::uint64_t>(t * 1000 + i))});
         if (sub.accepted()) {
           ++accepted;
-          futures[static_cast<std::size_t>(t)].push_back(std::move(sub.result));
+          tickets[static_cast<std::size_t>(t)].push_back(sub.ticket.id);
         } else if (sub.status == SubmitStatus::kShuttingDown) {
           break;  // the race is over for this thread
         }
@@ -247,12 +258,14 @@ TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
   for (auto& th : submitters) th.join();
 
   std::uint64_t resolved_ok = 0, resolved_cancelled = 0;
-  for (auto& per_thread : futures) {
-    for (auto& f : per_thread) {
-      try {
-        (void)f.get();
+  for (const auto& per_thread : tickets) {
+    for (const JobId id : per_thread) {
+      const FetchOutcome outcome = service.fetch_result(id);
+      if (outcome.done()) {
         ++resolved_ok;
-      } catch (const std::runtime_error&) {
+      } else {
+        ASSERT_EQ(outcome.state, JobState::kCancelled);
+        ASSERT_FALSE(outcome.error.empty());
         ++resolved_cancelled;
       }
     }
@@ -265,6 +278,62 @@ TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
   EXPECT_EQ(stats.cancelled_jobs, resolved_cancelled);
   EXPECT_EQ(stats.queued_jobs, 0u);
   EXPECT_EQ(stats.inflight_jobs, 0u);
+}
+
+TEST(SchedulerServiceStress, ConcurrentCancellersSettleEveryTicket) {
+  // Submitters and cancellers race the workers for the same tickets: each
+  // ticket ends exactly one of kDone/kCancelled, cancel() returning true at
+  // most once per ticket, and the counters balance.
+  ServiceOptions options;
+  options.workers = 2;
+  options.max_queued_jobs_total = 128;
+  options.max_queued_jobs_per_tenant = 128;
+  SchedulerService service(options);
+
+  constexpr int kJobs = 60;
+  std::vector<JobId> ids;
+  ids.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    TicketSubmission sub = service.submit_job(
+        "race", {quick_spec(static_cast<std::uint64_t>(7000 + i))});
+    ASSERT_TRUE(sub.accepted());
+    ids.push_back(sub.ticket.id);
+  }
+
+  std::atomic<std::uint64_t> cancel_wins{0};
+  std::vector<std::thread> cancellers;
+  for (int t = 0; t < 2; ++t) {
+    cancellers.emplace_back([&service, &ids, &cancel_wins, t] {
+      // Each canceller attacks a disjoint half — a cancel() that returns
+      // true must be the ONLY accepted cancel for that id.
+      for (std::size_t i = static_cast<std::size_t>(t); i < ids.size(); i += 2) {
+        if (service.cancel(ids[i])) ++cancel_wins;
+      }
+    });
+  }
+  for (auto& th : cancellers) th.join();
+  service.drain();
+
+  std::uint64_t done = 0, cancelled = 0;
+  for (const JobId id : ids) {
+    const FetchOutcome outcome = service.fetch_result(id);
+    if (outcome.done()) {
+      ++done;
+    } else {
+      ASSERT_EQ(outcome.state, JobState::kCancelled);
+      ++cancelled;
+    }
+    EXPECT_EQ(service.job_state(id), JobState::kUnknown);  // consumed
+  }
+  EXPECT_EQ(done + cancelled, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(cancelled, cancel_wins.load());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_jobs, done);
+  EXPECT_EQ(stats.cancelled_jobs, cancelled);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.inflight_jobs, 0u);
+  service.shutdown();
 }
 
 }  // namespace
