@@ -226,6 +226,13 @@ std::optional<MsgType> msg_type_from_wire(std::uint8_t code) noexcept {
 // --------------------------------------------------------------------------
 
 std::string encode_submit_batch(const SubmitBatchRequest& req) {
+  // The tenant id is a line-oriented field but, unlike reason/error/message,
+  // it is an identifier (quota bucket key), so flattening would silently
+  // change which tenant gets billed — reject instead.
+  if (req.tenant.find('\n') != std::string::npos ||
+      req.tenant.find('\r') != std::string::npos) {
+    bad("tenant id must not contain newline characters");
+  }
   std::ostringstream os;
   os << "nowsched-submit v1\n";
   os << "tenant=" << req.tenant << "\n";
@@ -242,8 +249,20 @@ SubmitBatchRequest decode_submit_batch(const std::string& payload) {
   SubmitBatchRequest req;
   req.tenant = r.expect_value("tenant");
   if (req.tenant.empty()) bad("empty tenant id");
+  if (req.tenant.find('\r') != std::string::npos) {
+    bad("tenant id must not contain newline characters");
+  }
   const std::uint64_t count = r.expect_u64("scenarios");
-  req.specs.reserve(count);
+  // Bound the count before reserving: a valid scenario record is >130 bytes
+  // of key=value lines, so any count beyond payload/64 is structurally bogus
+  // and would otherwise drive reserve() into std::length_error/bad_alloc —
+  // neither is the typed error the server's catch handles (remote DoS).
+  if (count > payload.size() / 64) {
+    bad("scenario count " + std::to_string(count) +
+        " is impossible for a " + std::to_string(payload.size()) +
+        "-byte payload");
+  }
+  req.specs.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     // block() consumes the blank line that terminates it, so only the first
     // record is still preceded by an unconsumed separator.
@@ -389,7 +408,15 @@ JobResultReply decode_job_result_reply(const std::string& payload) {
   reply.latency_ms = r.expect_double("latency_ms");
   reply.cache = read_cache_stats(r);
   const std::uint64_t count = r.expect_u64("scenarios");
-  reply.per_scenario.reserve(count);
+  // Same bound discipline as decode_submit_batch: each metrics line is at
+  // least 32 bytes ("metrics=" + 12 integers + 11 separators + newline), so
+  // a larger count cannot be genuine and must not reach reserve().
+  if (count > payload.size() / 32) {
+    bad("metrics count " + std::to_string(count) +
+        " is impossible for a " + std::to_string(payload.size()) +
+        "-byte payload");
+  }
+  reply.per_scenario.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::string value = r.expect_value("metrics");
     reply.per_scenario.push_back(metrics_from_line(value, "metrics=" + value));

@@ -90,14 +90,19 @@ bool Server::poll_once(int timeout_ms) {
     if (check_parked(*conn)) progress = true;
   }
 
+  // Snapshot the count: accept_pending below may grow conns_, and those
+  // fresh connections have no pollfd this pass — they are polled next time.
+  const std::size_t polled = conns_.size();
   std::vector<pollfd> fds;
-  fds.reserve(conns_.size() + 2);
+  fds.reserve(polled + 2);
   fds.push_back({listener_.get(), POLLIN, 0});
   fds.push_back({wake_read_.get(), POLLIN, 0});
-  for (auto& conn : conns_) {
-    short events = POLLIN;
-    if (conn->out_pos < conn->outbuf.size()) events |= POLLOUT;
-    fds.push_back({conn->fd.get(), events, 0});
+  for (std::size_t i = 0; i < polled; ++i) {
+    Connection& conn = *conns_[i];
+    short events = 0;
+    if (!conn.read_closed) events |= POLLIN;
+    if (conn.out_pos < conn.outbuf.size()) events |= POLLOUT;
+    fds.push_back({conn.fd.get(), events, 0});
   }
 
   // A wake may already be pending (completion hook); progress made above
@@ -126,10 +131,10 @@ bool Server::poll_once(int timeout_ms) {
     progress = true;
   }
 
-  for (std::size_t i = 0; i < conns_.size(); ++i) {
+  for (std::size_t i = 0; i < polled; ++i) {
     Connection& conn = *conns_[i];
     const pollfd& pfd = fds[i + 2];
-    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+    if (!conn.read_closed && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
       if (read_from(conn)) progress = true;
     }
     if (!conn.closing || conn.out_pos < conn.outbuf.size()) {
@@ -137,12 +142,15 @@ bool Server::poll_once(int timeout_ms) {
     }
   }
 
-  // Reap: a connection is dead when reading hit EOF/error (fd already
-  // reset) or when it finished flushing its goodbye.
+  // Reap: a connection is dead when reading hit an error (fd already reset)
+  // or when it finished flushing its goodbye. A half-closed peer (read side
+  // EOF) still gets replies to everything it pipelined — including a parked
+  // fetch — before the connection goes.
   for (std::size_t i = 0; i < conns_.size();) {
     Connection& conn = *conns_[i];
     const bool flushed = conn.out_pos >= conn.outbuf.size();
-    if (!conn.fd.valid() || (conn.closing && flushed)) {
+    const bool done = conn.closing || (conn.read_closed && !conn.parked);
+    if (!conn.fd.valid() || (done && flushed)) {
       if (conn.announced_shutdown) running_.store(false);
       for (const service::JobId id : conn.owned) service_.forget(id);
       conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -186,8 +194,13 @@ bool Server::read_from(Connection& conn) {
     try {
       status = util::read_some(conn.fd.get(), buf, sizeof(buf), n);
     } catch (const std::system_error&) {
-      conn.fd.reset();  // ECONNRESET and friends: drop silently
-      return true;
+      // ECONNRESET and friends: the fd is dead both ways. Replies can no
+      // longer flush, but frames already buffered still carry side effects
+      // (a pipelined Shutdown must not be lost), so fall through to
+      // process_frames before the reap pass drops the connection.
+      conn.fd.reset();
+      progress = true;
+      break;
     }
     if (status == util::IoStatus::kOk) {
       conn.decoder.append(std::string_view(buf, n));
@@ -195,8 +208,12 @@ bool Server::read_from(Connection& conn) {
       continue;
     }
     if (status == util::IoStatus::kEof) {
-      conn.fd.reset();
-      return true;
+      // Half-close: the peer is done sending but may still be reading
+      // (shutdown(SHUT_WR)). Process everything it pipelined and keep the
+      // write side open; the reap pass closes once the outbuf drains.
+      conn.read_closed = true;
+      progress = true;
+      break;
     }
     break;  // kAgain — drained the socket
   }

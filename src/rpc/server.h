@@ -17,6 +17,9 @@
 //   - A payload that fails to decode gets a typed Error reply and the
 //     connection lives on; a FRAMING error (bad magic/version/length) is
 //     unrecoverable — the server sends a best-effort Error frame and closes.
+//   - Half-close is honoured: a peer that shutdown(SHUT_WR)s after
+//     pipelining requests still receives every reply (parked fetches
+//     included) before the server closes the connection.
 //   - serve() blocks until stop() or a Shutdown RPC; poll_once() exposes
 //     single deterministic pump steps for tests (pair it with a manual-mode
 //     service and run_next()).
@@ -84,6 +87,7 @@ class Server {
     std::set<service::JobId> owned;            ///< tickets to forget on drop
     std::optional<service::JobId> parked;      ///< pending wait=1 fetch
     bool closing = false;                      ///< close once outbuf drains
+    bool read_closed = false;                  ///< peer half-closed; still flush replies
     bool announced_shutdown = false;           ///< carries the Shutdown reply
   };
 

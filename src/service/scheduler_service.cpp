@@ -262,6 +262,14 @@ FetchOutcome SchedulerService::fetch_result(JobId id, bool wait) {
       JobRecord& record = it->second;
       state = record.state;
       if (record.cancel_requested && state == JobState::kQueued) {
+        // Already consumed (a prior fetch or a forget()) but the pop path
+        // has not erased the record yet: exactly-once means any further
+        // fetch observes kUnknown, same as after the erase.
+        if (record.fetched) {
+          FetchOutcome out;
+          out.state = JobState::kUnknown;
+          return out;
+        }
         // Decided but not yet settled by the pop path. Mark it fetched so
         // settlement erases the record — this IS the one fetch.
         record.fetched = true;

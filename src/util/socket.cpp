@@ -130,7 +130,10 @@ IoStatus read_some(int fd, char* buf, std::size_t capacity, std::size_t& n) {
 IoStatus write_some(int fd, const char* data, std::size_t len, std::size_t& written) {
   written = 0;
   while (written < len) {
-    const ssize_t put = ::write(fd, data + written, len - written);
+    // send(MSG_NOSIGNAL), not write(2): a peer that closed mid-reply must
+    // surface as an EPIPE system_error the caller can catch, not SIGPIPE
+    // killing the whole daemon. Socket fds only (pipes use raw ::write).
+    const ssize_t put = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
     if (put > 0) {
       written += static_cast<std::size_t>(put);
       continue;

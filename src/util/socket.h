@@ -71,10 +71,11 @@ enum class IoStatus {
 /// byte count; otherwise n == 0. Hard errors (ECONNRESET, EBADF, ...) throw.
 IoStatus read_some(int fd, char* buf, std::size_t capacity, std::size_t& n);
 
-/// Writes as much of [data, data+len) as the fd accepts without blocking
-/// (EINTR retried). `written` advances past the accepted prefix; kAgain
-/// means the kernel buffer filled first. EPIPE throws like other errors —
-/// callers treat a vanished peer as a dropped connection.
+/// Writes as much of [data, data+len) as the socket fd accepts without
+/// blocking (EINTR retried). `written` advances past the accepted prefix;
+/// kAgain means the kernel buffer filled first. Uses send(MSG_NOSIGNAL), so
+/// a vanished peer throws EPIPE instead of raising SIGPIPE — callers treat
+/// it as a dropped connection. Socket fds only.
 IoStatus write_some(int fd, const char* data, std::size_t len, std::size_t& written);
 
 /// Blocking full-buffer write: loops write_some until every byte is out.

@@ -338,6 +338,43 @@ TEST(RpcProtocol, MalformedPayloadsThrowTypedErrors) {
   EXPECT_THROW(decode_cancel(ok + "extra=1\n"), std::invalid_argument);
 }
 
+TEST(RpcProtocol, AbsurdCountsAreRejectedBeforeAllocation) {
+  // A correctly framed payload claiming 2^64-1 records must draw the typed
+  // error, not a std::length_error/bad_alloc out of vector::reserve — those
+  // would escape the server's invalid_argument catch and kill the daemon.
+  EXPECT_THROW(decode_submit_batch("nowsched-submit v1\ntenant=t\n"
+                                   "scenarios=18446744073709551615\n"),
+               std::invalid_argument);
+
+  // Client side has the same exposure through the result-reply decoder.
+  JobResultReply reply;
+  reply.state = service::JobState::kDone;
+  reply.tenant = "t";
+  reply.job_id = 1;
+  reply.per_scenario = {sample_metrics(1)};
+  std::string payload = encode_job_result_reply(reply);
+  const std::size_t pos = payload.find("scenarios=1\n");
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, 12, "scenarios=18446744073709551615\n");
+  EXPECT_THROW(decode_job_result_reply(payload), std::invalid_argument);
+}
+
+TEST(RpcProtocol, TenantWithNewlineIsRejectedAtEncode) {
+  // The tenant id is an identifier, not free text: flattening would bill a
+  // different quota bucket, and passing it raw would inject protocol lines
+  // into the record. Encode refuses instead.
+  SubmitBatchRequest req;
+  req.tenant = "alpha\nscenarios=0";
+  EXPECT_THROW((void)encode_submit_batch(req), std::invalid_argument);
+  req.tenant = "alpha\rbeta";
+  EXPECT_THROW((void)encode_submit_batch(req), std::invalid_argument);
+  // Decode rejects a smuggled carriage return too ('\n' cannot survive the
+  // line split, so '\r' is the only one that needs an explicit check).
+  EXPECT_THROW(
+      decode_submit_batch("nowsched-submit v1\ntenant=a\rb\nscenarios=0\n"),
+      std::invalid_argument);
+}
+
 TEST(RpcProtocol, ResultReplyRejectsWrongMetricsArity) {
   JobResultReply reply;
   reply.state = service::JobState::kDone;

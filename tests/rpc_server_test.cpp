@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include "rpc/client.h"
 #include "rpc/frame.h"
 #include "rpc/protocol.h"
@@ -117,6 +119,9 @@ class RawClient {
   }
 
   void disconnect() { fd_.reset(); }
+
+  /// shutdown(SHUT_WR): done sending, still reading replies.
+  void half_close() { ::shutdown(fd_.get(), SHUT_WR); }
 
  private:
   util::Fd fd_;
@@ -291,6 +296,62 @@ TEST(RpcServer, DisconnectForgetsOwnedTicketsAndCancelsQueuedOnes) {
   EXPECT_EQ(stats.cancelled_jobs, 2u);
   EXPECT_EQ(stats.queued_jobs, 0u);
   EXPECT_EQ(stats.inflight_jobs, 0u);
+}
+
+TEST(RpcServer, HalfClosedClientStillGetsPipelinedReplies) {
+  ManualRig rig;
+  RawClient client(rig.server.socket_path());
+  const service::JobId id = submit_one(client, rig.server, "alpha", 1, 700);
+
+  // Pipeline a wait-fetch and a stats request, then half-close: the peer is
+  // done sending but still reads. Both replies must arrive, in order, even
+  // though the server's read side saw EOF before either was produced.
+  client.send(MsgType::kJobResult, encode_job_result({id, /*wait=*/true}));
+  client.send(MsgType::kStats, encode_stats_request());
+  client.half_close();
+
+  bool ran = false;
+  const Frame first = client.await_reply(rig.server, [&] {
+    if (!ran) ran = rig.service.run_next();
+  });
+  ASSERT_EQ(first.type, wire_code(MsgType::kJobResultReply));
+  EXPECT_EQ(decode_job_result_reply(first.payload).state,
+            service::JobState::kDone);
+  const Frame second = client.await_reply(rig.server);
+  EXPECT_EQ(second.type, wire_code(MsgType::kStatsReply));
+
+  // Everything delivered: now the server closes its side.
+  EXPECT_TRUE(client.eof_seen(rig.server));
+  EXPECT_EQ(rig.server.connection_count(), 0u);
+}
+
+TEST(RpcServer, ShutdownPipelinedBeforeImmediateCloseIsNotLost) {
+  ManualRig rig;
+  RawClient client(rig.server.socket_path());
+  client.send(MsgType::kShutdown, encode_shutdown(
+      {service::SchedulerService::StopMode::kDrain}));
+  client.disconnect();  // full close, no grace — the frame must still land
+  for (int i = 0; i < 200 && !rig.server.shutdown_requested(); ++i) {
+    (void)rig.server.poll_once(1);
+  }
+  EXPECT_TRUE(rig.server.shutdown_requested());
+  EXPECT_EQ(rig.server.shutdown_mode(),
+            service::SchedulerService::StopMode::kDrain);
+}
+
+TEST(RpcServer, AbsurdScenarioCountDrawsTypedErrorAndServerSurvives) {
+  ManualRig rig;
+  RawClient client(rig.server.socket_path());
+  // Correctly framed, structurally bogus: the claimed count must be caught
+  // before reserve() can throw something the daemon does not catch.
+  client.send(MsgType::kSubmitBatch,
+              "nowsched-submit v1\ntenant=t\nscenarios=18446744073709551615\n");
+  const Frame frame = client.await_reply(rig.server);
+  ASSERT_EQ(frame.type, wire_code(MsgType::kError));
+  EXPECT_FALSE(decode_error(frame.payload).message.empty());
+  // The daemon survived and the connection still serves real work.
+  const service::JobId id = submit_one(client, rig.server, "alpha", 1, 800);
+  EXPECT_GT(id, 0u);
 }
 
 TEST(RpcServer, ShutdownRpcRepliesThenStopsTheLoop) {

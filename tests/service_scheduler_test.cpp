@@ -420,6 +420,32 @@ TEST(SchedulerService, ForgetReleasesRecordsInEveryState) {
   expect_conservation(stats);
 }
 
+TEST(SchedulerService, CancelledQueuedJobFetchIsExactlyOnceBeforeSettlement) {
+  SchedulerService service(manual_options(QueueKind::kFifo));
+  const JobTicket ticket = expect_accepted(service, "a", quick_batch(1, 1));
+  ASSERT_TRUE(service.cancel(ticket.id));
+
+  // First fetch before the pop path settles the record: this IS the fetch.
+  const FetchOutcome first = service.fetch_result(ticket.id);
+  EXPECT_EQ(first.state, JobState::kCancelled);
+  EXPECT_FALSE(first.error.empty());
+
+  // A second fetch of the still-unsettled record must read kUnknown — the
+  // same answer it will give once settlement erases the record.
+  EXPECT_EQ(service.fetch_result(ticket.id).state, JobState::kUnknown);
+
+  // forget() consumes the fetch too: a later fetch may not resurrect the
+  // cancelled outcome while the queue entry lingers.
+  const JobTicket forgotten = expect_accepted(service, "a", quick_batch(1, 2));
+  EXPECT_TRUE(service.forget(forgotten.id));
+  EXPECT_EQ(service.fetch_result(forgotten.id).state, JobState::kUnknown);
+
+  while (service.run_next()) {
+  }
+  EXPECT_EQ(service.fetch_result(ticket.id).state, JobState::kUnknown);
+  expect_conservation(service.stats());
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown semantics
 // ---------------------------------------------------------------------------
