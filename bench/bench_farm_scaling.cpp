@@ -40,7 +40,8 @@ void run(harness::Context& ctx) {
         sim::WorkstationConfig cfg;
         // Assemble via append rather than operator+: string concatenation of
         // a literal with std::to_string trips a GCC 12 -Wrestrict false
-        // positive (GCC bug 105651) when inlined under -O2.
+        // positive (GCC bug 105651) when inlined under -O2. Retested on GCC
+        // 12.2: still fires — keep until the toolchain reaches GCC 13.
         cfg.name = "b";
         cfg.name += std::to_string(i);
         cfg.opportunity = Opportunity{u, p};

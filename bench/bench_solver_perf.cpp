@@ -1,12 +1,15 @@
-// E10 — solver performance: reference O(P·N²) vs fast O(P·N·log N), thread
-// scaling of the wavefront-parallel fast solver (plus the sequential-vs-
-// wavefront c-sweep that locates the profitable crossover), the policy
-// evaluator, and guideline-construction throughput.
+// E10 — solver performance: reference O(P·N²) vs fast O(P·N), the level-fill
+// kernel ladder (legacy binary search vs scalar two-pointer vs the SIMD
+// kernels, fill-only on preallocated tables), thread scaling of the
+// wavefront-parallel fast solver (plus the sequential-vs-wavefront c-sweep
+// that locates the profitable crossover), the policy evaluator, and
+// guideline-construction throughput.
 //
 // Self-timed on the harness clock (best-of-`reps` wall time) so the perf
 // record shares the tier/CSV/JSON plumbing with the model experiments; the
 // absolute numbers are one machine's sample, the shapes (scaling exponents,
-// thread speedups) are the claims.
+// kernel ratios, thread speedups) are the claims.
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -64,6 +67,68 @@ void run(harness::Context& ctx) {
              util::Table::fmt(fast_fit.slope, 3) + " (theory ~1)");
   }
 
+  // 1b. Level-fill kernel ladder: every compiled kernel re-fills the SAME
+  //     preallocated level pair (level 2 from a real level-1 table, the
+  //     regime the diagonal fast path is built for). Fill-only by design —
+  //     no slab allocation, no first-touch page faults — so the ratios are
+  //     the kernel speedups the scan restructuring buys, not allocator
+  //     noise. Re-filling an already-final level is idempotent under the
+  //     kernel read contract (see solver/fill_kernel.h), so one warm fill
+  //     precedes the timed repetitions.
+  {
+    const Params big_c{1024};
+    const Ticks n = ctx.quick() ? (1 << 15) : (1 << 18);
+    std::vector<Ticks> level0(static_cast<std::size_t>(n) + 1);
+    for (Ticks l = 0; l <= n; ++l) {
+      level0[static_cast<std::size_t>(l)] = positive_sub(l, big_c.c);
+    }
+    std::vector<Ticks> level1(static_cast<std::size_t>(n) + 1, 0);
+    solver::run_fill_kernel(solver::SolverKernel::kLegacy, level1, level0, 1,
+                            n + 1, big_c.c);
+    std::vector<Ticks> level2(static_cast<std::size_t>(n) + 1, 0);
+
+    std::vector<solver::SolverKernel> ladder{solver::SolverKernel::kLegacy};
+    for (solver::SolverKernel k : solver::supported_solver_kernels()) {
+      if (k != solver::SolverKernel::kLegacy) ladder.push_back(k);
+    }
+    util::Table out({"kernel", "fill ms/level", "speedup vs legacy"});
+    double legacy_ms = 0.0, scalar_ms = 0.0, best_simd_ms = 0.0, active_ms = 0.0;
+    const solver::SolverKernel active = solver::active_solver_kernel();
+    for (solver::SolverKernel k : ladder) {
+      std::fill(level2.begin(), level2.end(), 0);
+      solver::run_fill_kernel(k, level2, level1, 1, n + 1, big_c.c);  // warm
+      const double ms = harness::time_best_of_ms(std::max(reps, 3), [&] {
+        solver::run_fill_kernel(k, level2, level1, 1, n + 1, big_c.c);
+      });
+      if (k == solver::SolverKernel::kLegacy) legacy_ms = ms;
+      if (k == solver::SolverKernel::kScalar) scalar_ms = ms;
+      if (k == solver::SolverKernel::kAvx2 || k == solver::SolverKernel::kNeon) {
+        if (best_simd_ms == 0.0 || ms < best_simd_ms) best_simd_ms = ms;
+      }
+      if (k == active) active_ms = ms;
+      harness::write_perf_row(ctx, std::string("kernel_") + solver::solver_kernel_name(k),
+                              static_cast<double>(n), ms, static_cast<double>(n));
+      out.add_row({solver::solver_kernel_name(k), util::Table::fmt(ms, 5),
+                   util::Table::fmt(legacy_ms > 0 && ms > 0 ? legacy_ms / ms : 0.0, 4)});
+    }
+    ctx.table(out, "level-fill kernel ladder, c = 1024, N = " + std::to_string(n) +
+                       " (fill-only, preallocated)");
+    // The speedup ratios are same-run, same-machine quantities — stable
+    // enough to gate in both tiers (unlike absolute wall clocks).
+    if (legacy_ms > 0 && active_ms > 0) {
+      ctx.metric("kernel_speedup_vs_legacy", legacy_ms / active_ms);
+    }
+    if (scalar_ms > 0 && best_simd_ms > 0) {
+      ctx.metric("simd_speedup_vs_scalar", scalar_ms / best_simd_ms);
+    }
+    ctx.text("active kernel on this host: " +
+             std::string(solver::solver_kernel_name(active)) +
+             (legacy_ms > 0 && active_ms > 0
+                  ? ", " + util::Table::fmt(legacy_ms / active_ms, 3) +
+                        "x over the legacy binary-search scan"
+                  : ""));
+  }
+
   // 2. Fast solver across interrupt budgets at a fixed grid.
   {
     const Ticks n = ctx.quick() ? (1 << 12) : (1 << 15);
@@ -81,22 +146,29 @@ void run(harness::Context& ctx) {
   }
 
   // 3. Wavefront thread scaling: sequential solve vs the forced wavefront
-  //    path at 1/2/4 pool threads, all against the same sequential baseline.
-  //    (Forced, so the shape is measured even on machines where the auto
-  //    plan would decline; the plan's own decision is reported below.)
+  //    path at 1/2/4/8 pool threads, all against the same sequential
+  //    baseline. max_p = 7 gives the DAG 8 levels of width to spread, so an
+  //    8-thread pool can actually be saturated once the one-block pipeline
+  //    fill completes. (Forced, so the shape is measured even on machines
+  //    where the auto plan would decline; the plan's own decision — and the
+  //    scan-step calibration it priced cells with — is reported below.)
   {
     const Params big_c{1024};
+    const int wave_p = 7;
     const Ticks n = ctx.quick() ? (1 << 15) : (1 << 18);
     const double seq_ms = harness::time_best_of_ms(reps, [&] {
-      solver::solve_fast(3, n, big_c, nullptr, solver::ParallelMode::kForceSequential);
+      solver::solve_fast(wave_p, n, big_c, nullptr,
+                         solver::ParallelMode::kForceSequential);
     });
     harness::write_perf_row(ctx, "fast_sequential", 0.0, seq_ms, static_cast<double>(n));
     util::Table out({"threads", "ms", "speedup vs sequential"});
     out.add_row({"(sequential)", util::Table::fmt(seq_ms, 5), "1.000"});
-    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
       util::ThreadPool pool(threads);
       const double ms = harness::time_best_of_ms(reps, [&] {
-        solver::solve_fast(3, n, big_c, &pool, solver::ParallelMode::kForceWavefront);
+        solver::solve_fast(wave_p, n, big_c, &pool,
+                           solver::ParallelMode::kForceWavefront);
       });
       harness::write_perf_row(ctx, "fast_wavefront", static_cast<double>(threads), ms,
              static_cast<double>(n));
@@ -105,7 +177,8 @@ void run(harness::Context& ctx) {
                    util::Table::fmt(ms > 0 ? seq_ms / ms : 0.0, 3)});
       if (threads == 4) ctx.metric("fast_parallel_speedup_4t", ms > 0 ? seq_ms / ms : 0.0);
     }
-    ctx.table(out, "wavefront fast solver, max_p = 3, c = 1024, N = " + std::to_string(n));
+    ctx.table(out, "wavefront fast solver, max_p = " + std::to_string(wave_p) +
+                       ", c = 1024, N = " + std::to_string(n));
 
     // The engagement decision the auto mode would take on this grid, with
     // the two calibrated quantities it weighed. A declined plan on a machine
@@ -113,7 +186,7 @@ void run(harness::Context& ctx) {
     // outcome — the threshold exists so the parallel path never engages a
     // losing configuration.
     util::ThreadPool pool4(4);
-    const auto plan = solver::plan_wavefront(3, n, big_c, &pool4);
+    const auto plan = solver::plan_wavefront(wave_p, n, big_c, &pool4);
     // Full tier only: whether auto mode engages is a property of the host's
     // core count (0 on 1-core, typically 1 on multicore), so comparing it
     // across machines in the strict same-tier quick gate would fail on
@@ -238,8 +311,10 @@ const harness::Experiment& experiment_solver_perf() {
       "E10", "solver_perf", "Solver performance baselines",
       "bench_solver_perf",
       "Wall-clock baselines for the solvers: reference O(P·N²) vs fast "
-      "O(P·N·log N) with empirical scaling exponents, thread scaling of the "
-      "wavefront-parallel fast solver with its auto-engagement plan and the "
+      "O(P·N) with empirical scaling exponents, the level-fill kernel ladder "
+      "(legacy binary-search scan vs scalar two-pointer vs SIMD, fill-only "
+      "on preallocated tables), thread scaling of the wavefront-parallel "
+      "fast solver with its auto-engagement plan and the "
       "sequential-vs-wavefront crossover sweep, the policy-evaluation DP, "
       "and guideline construction throughput.",
       run};

@@ -20,6 +20,14 @@ candidate directory for the matching record and compares:
                   floor against a baseline above min-wall-ms x tolerance
                   (30 ms at the defaults) is a collapse — neither can hide
                   under the floor;
+  * host_class  — records are stamped with the machine class that produced
+                  them ("<threads>t-<isa>", e.g. "8t-avx2"; records predating
+                  the stamp count as "unknown"). When candidate and baseline
+                  classes differ, every timing/metric ratio check is SKIPPED
+                  and a non-failing note is printed instead — a laptop
+                  baseline must not gate a CI runner's wall clocks, in either
+                  direction. Structural checks (ok, metric presence,
+                  finiteness) still apply;
   * metrics     — same keys must exist; values must be finite; same-tier
                   values are ratio-checked like wall_ms, with two exemptions:
                   keys ending in `_ms` get the same --min-wall-ms noise floor
@@ -93,7 +101,7 @@ def main() -> int:
         print(f"error: no BENCH_*.json baselines under {args.baseline}")
         return 1
 
-    errors, warnings = [], []
+    errors, warnings, notes = [], [], []
 
     for name, base in sorted(baselines.items()):
         cand = candidates.get(name)
@@ -110,6 +118,14 @@ def main() -> int:
             continue
 
         same_tier = cand.get("tier") == base.get("tier")
+        cand_class = cand.get("host_class", "unknown")
+        base_class = base.get("host_class", "unknown")
+        same_class = cand_class == base_class
+        if not same_class:
+            notes.append(
+                f"{name}: host class mismatch (candidate {cand_class!r} vs "
+                f"baseline {base_class!r}) — timing/metric ratios not compared; "
+                f"regenerate the baseline on this host class to re-arm the gate")
         skip_ceiling = args.min_wall_ms * args.tolerance * args.tolerance
 
         def check_timing(label, cand_ms, base_ms):
@@ -139,7 +155,9 @@ def main() -> int:
                     f"{args.min_wall_ms * args.tolerance:g} ms — measured work "
                     f"collapsed)")
 
-        if same_tier:
+        if not same_class:
+            pass  # noted above; no ratio is meaningful across host classes
+        elif same_tier:
             check_timing("wall_ms", cand.get("wall_ms", 0.0),
                          base.get("wall_ms", 0.0))
         else:
@@ -157,7 +175,7 @@ def main() -> int:
             if not isinstance(value, (int, float)) or not math.isfinite(value):
                 errors.append(f"{name}: metric {key!r} is not finite: {value!r}")
                 continue
-            if same_tier:
+            if same_tier and same_class:
                 if key.endswith("_per_sec"):
                     continue  # machine-absolute throughput; wall_ms gates it
                 if key.endswith("_ms"):
@@ -179,9 +197,11 @@ def main() -> int:
         print(f"error: {line}")
     for line in warnings:
         print(f"warning: {line}")
+    for line in notes:
+        print(f"note: {line}")
     compared = len(baselines)
     print(f"compared {compared} records: {len(errors)} error(s), "
-          f"{len(warnings)} warning(s)"
+          f"{len(warnings)} warning(s), {len(notes)} note(s)"
           + ("" if errors or warnings else " — all within tolerance"))
 
     if errors:

@@ -1,5 +1,6 @@
 #include "harness/harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,9 @@
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+
+#include "util/simd.h"
 
 #if defined(_WIN32)
 #include <process.h>
@@ -51,6 +55,17 @@ std::string json_number(double v) {
 }
 
 }  // namespace
+
+std::string host_class() {
+  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  const char* isa = "scalar";
+  if (util::simd::cpu_supports_avx2()) {
+    isa = "avx2";
+  } else if (util::simd::cpu_supports_neon()) {
+    isa = "neon";
+  }
+  return std::to_string(threads) + "t-" + isa;
+}
 
 std::string tier_name(Tier tier) {
   return tier == Tier::kQuick ? "quick" : "full";
@@ -205,6 +220,9 @@ RunResult run_experiment(const Experiment& e, Tier tier, const util::Flags& flag
          << "  \"title\": \"" << json_escape(e.title) << "\",\n"
          << "  \"binary\": \"" << json_escape(e.binary) << "\",\n"
          << "  \"tier\": \"" << tier_name(tier) << "\",\n"
+         << "  \"host_threads\": "
+         << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+         << "  \"host_class\": \"" << json_escape(host_class()) << "\",\n"
          << "  \"ok\": " << (result.ok ? "true" : "false") << ",\n"
          << "  \"error\": \"" << json_escape(result.error) << "\",\n"
          << "  \"wall_ms\": " << json_number(result.wall_ms) << ",\n"

@@ -147,6 +147,15 @@ RunResult run_experiment(const Experiment& e, Tier tier, const util::Flags& flag
 /// and returns a process exit code.
 int standalone_main(const std::string& id_or_slug, int argc, const char* const* argv);
 
+/// Hardware-class tag stamped into every BENCH_<slug>.json:
+/// "<hardware threads>t-<best ISA the CPU can run>", e.g. "8t-avx2",
+/// "4t-neon", "1t-scalar". Built from the CPU's capabilities (not the
+/// kernel actually dispatched), so two runs on the same machine always
+/// share a class regardless of NOWSCHED_KERNEL overrides.
+/// compare_baselines.py refuses (warn-only) to ratio-gate records from
+/// different classes — a laptop baseline must not fail CI's timings.
+std::string host_class();
+
 /// Best-of-`reps` wall time of fn in milliseconds (fn runs reps times).
 /// The perf experiments (E10/E11) use this instead of Google Benchmark so
 /// they share the tier/CSV/JSON plumbing with the model experiments.

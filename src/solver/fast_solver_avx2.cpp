@@ -1,0 +1,18 @@
+// AVX2 instantiation of the two-phase level-fill kernel. This TU is the
+// only one compiled with -mavx2 (set per-source in CMakeLists), so the
+// intrinsics stay out of every baseline-ISA object file; the dispatcher in
+// fast_solver.cpp only calls fill_range_avx2 after cpu_supports_avx2().
+#include "solver/fill_kernel.h"
+
+#if defined(__AVX2__)
+
+namespace nowsched::solver::detail {
+
+void fill_range_avx2(std::span<Ticks> cur, std::span<const Ticks> prev,
+                     Ticks lo, Ticks hi, Ticks c, std::size_t* steps) {
+  fill_range_two_phase<util::simd::I64x4Avx2>(cur, prev, lo, hi, c, steps);
+}
+
+}  // namespace nowsched::solver::detail
+
+#endif  // __AVX2__

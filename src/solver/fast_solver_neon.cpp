@@ -1,0 +1,17 @@
+// NEON (AArch64 AdvSIMD) instantiation of the two-phase level-fill kernel.
+// AdvSIMD is baseline on AArch64, so unlike the AVX2 TU this needs no
+// special flags — it simply compiles to nothing on other architectures.
+#include "solver/fill_kernel.h"
+
+#if defined(__aarch64__)
+
+namespace nowsched::solver::detail {
+
+void fill_range_neon(std::span<Ticks> cur, std::span<const Ticks> prev,
+                     Ticks lo, Ticks hi, Ticks c, std::size_t* steps) {
+  fill_range_two_phase<util::simd::I64x2Neon>(cur, prev, lo, hi, c, steps);
+}
+
+}  // namespace nowsched::solver::detail
+
+#endif  // __aarch64__

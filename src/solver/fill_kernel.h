@@ -1,0 +1,200 @@
+// Internal: the blocked two-phase level-fill kernel, templated over a SIMD
+// lane-traits struct from util/simd.h. Included only by the kernel
+// translation units (fast_solver.cpp and the per-ISA TUs such as
+// fast_solver_avx2.cpp) — nothing outside src/solver should include this.
+//
+// ## Derivation (why the scan vectorizes at all)
+//
+// The legacy kernel binary-searches, per lifespan l, the crossover of
+//   A(t) = (t − c) + cur[l − t]   (non-decreasing in t)
+//   B(t) = prev[l − t]            (non-increasing in t)
+// over t ∈ [c, l]. Substitute j = l − t and m = l − c (so j ∈ [0, m]):
+//
+//   crossover_best(l) = max_{0<=j<=m} min( (m − j) + cur[j], prev[j] )
+//
+// Define w[j] = j + prev[j] − cur[j]. Under the table invariants (cur and
+// prev non-decreasing and 1-Lipschitz, cur <= prev pointwise) w is
+// non-decreasing, and "B(t) <= A(t)" at position j is exactly "w[j] <= m".
+// So the crossover index
+//
+//   k(m) = max{ j ∈ [0, m] : w[j] <= m }      (or −1 when w[0] > m)
+//
+// is MONOTONE NON-DECREASING in m — and m increases by exactly 1 per
+// lifespan. That turns the per-lifespan O(log) binary search into an
+// amortized O(1) two-pointer advance, and
+//
+//   x(m) = max( k >= 0 ? prev[k] : −inf,  (m − (k+1)) + cur[k+1] )
+//
+// reproduces the legacy result bit-for-bit in every branch:
+//   * k = −1  ("never crosses"):      x = m + cur[0]            = A(l)
+//   * k = m   ("crossed at/before c"): w[m] <= m forces
+//     prev[m] <= cur[m], which with the invariant cur <= prev means
+//     prev[m] = cur[m] = min(A(c), B(c)); the a-term reads cur[m+1] — one
+//     index past the scan range — but cur[m+1] − 1 <= cur[m] <= prev[m]
+//     (1-Lipschitz), so that term NEVER wins. The read itself is benign
+//     even mid-solve: m+1 <= hi − c <= lo stays inside this cell's own
+//     rows, i.e. same-task memory (zero-init or an earlier tile's final
+//     value), never another wavefront cell's — no data race, and either
+//     value the read can observe is provably below prev[m].
+//   * otherwise:                       x = max(B(l − k), A(l − k − 1)),
+//     the legacy max(a(lo), b(hi)) pair around the crossover.
+//
+// ## Two-phase tile structure
+//
+// fill_range_two_phase processes [lo, hi) in tiles of min(256, c)
+// lifespans — a tile's phase 1 runs wholly before its phase 2 writes, so
+// the tile height must keep phase-1 reads below the tile start, which
+// height <= c does (the wavefront's own block-locality argument, one level
+// down):
+//   phase 1  computes x(m) for the whole tile into a stack buffer, walking
+//            k forward (never backward). Within a tile, whenever the gap
+//            s[j] = prev[j] − cur[j] is locally constant — the dominant
+//            regime in real tables, where the crossover advances exactly
+//            one index per lifespan — a whole vector of lanes is emitted
+//            from two contiguous loads (see the diagonal fast path below).
+//   phase 2  merges the carry:  cur[l] = max(x(m), cur[l − 1])  is a
+//            prefix-max over x seeded with cur[t0 − 1], vectorized as an
+//            in-register prefix max plus a broadcast running carry. Integer
+//            max is associative, so regrouping lanes is EXACT — phase 2 is
+//            bit-identical to the sequential carry by algebra, not by luck.
+//
+// Every instantiation (scalar, AVX2, NEON) runs this same template, so the
+// scalar kernel is not a separate implementation to diverge from — it is
+// the V::kLanes == 1 instantiation with the vector paths compiled out.
+//
+// Read bounds (the wavefront contract): a tile starting at t0 >= lo probes
+// prev/cur only at indices <= m <= t1 − 1 − c < t0 (and in particular
+// < lo ... below the block start for the block's first tile), except the
+// benign cur[m+1] read argued above, which reaches at most t1 − c <= t0 —
+// same-cell memory either way; phase 2 writes [t0, t1) and reads
+// cur[t0 − 1]. So a (p, b) cell still depends on exactly (p, b−1) and
+// (p−1, b−1) — the task DAG of solve_fast is unchanged by the kernel swap.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "core/types.h"
+#include "util/simd.h"
+
+namespace nowsched::solver::detail {
+
+template <class V>
+void fill_range_two_phase(std::span<Ticks> cur, std::span<const Ticks> prev,
+                          Ticks lo, Ticks hi, Ticks c, std::size_t* steps) {
+  constexpr Ticks kTileCap = 256;
+  // A tile's phase 1 runs entirely before its phase 2 writes, so every real
+  // phase-1 read (index <= tile_last − c) must land below the tile start —
+  // exactly the block-locality argument of the wavefront, applied at tile
+  // granularity. Tile height <= c guarantees it for any [lo, hi).
+  const Ticks tile = std::min(kTileCap, c);
+  constexpr int kLanes = V::kLanes;
+  constexpr Ticks kLow = std::numeric_limits<Ticks>::min();
+  Ticks x[static_cast<std::size_t>(kTileCap)];
+  std::size_t probes = 0;
+
+  auto w = [&](Ticks j) {
+    return j + prev[static_cast<std::size_t>(j)] -
+           cur[static_cast<std::size_t>(j)];
+  };
+
+  // Seed k = k(m0) for the block's first lifespan with one binary search
+  // (every probe index <= m0 = lo − c < lo, i.e. final memory); afterwards
+  // k only advances.
+  Ticks k = -1;
+  {
+    const Ticks m0 = lo - c;
+    if (m0 >= 0) {
+      ++probes;
+      if (w(0) <= m0) {
+        ++probes;
+        if (w(m0) <= m0) {
+          k = m0;
+        } else {
+          Ticks a = 0, b = m0;  // w(a) <= m0 < w(b)
+          while (a + 1 < b) {
+            const Ticks mid = a + (b - a) / 2;
+            ++probes;
+            (w(mid) <= m0 ? a : b) = mid;
+          }
+          k = a;
+        }
+      }
+    }
+  }
+
+  for (Ticks t0 = lo; t0 < hi; t0 += tile) {
+    const Ticks t1 = std::min(hi, t0 + tile);
+    const int len = static_cast<int>(t1 - t0);
+
+    // Phase 1: crossover pass into x[0..len).
+    int i = 0;
+    while (i < len) {
+      const Ticks m = (t0 + i) - c;
+      if (m < 0) {  // l < c: no completable period, the carry alone decides.
+        x[i] = 0;
+        ++i;
+        continue;
+      }
+      while (k < m && (++probes, w(k + 1) <= m)) ++k;
+      if constexpr (kLanes > 1) {
+        // Diagonal fast path: with d = m − k, if s[j] = prev[j] − cur[j]
+        // satisfies s[k+1 .. k+kLanes−1] == d and s[k+kLanes] >= d, then
+        // k(m + i) = k + i for every lane (w(k+i) = m+i reaches, w(k+i+1)
+        // stops), and both terms of x become contiguous vector loads:
+        //   x_i = max( prev[k+i],  (m − k − 1) + cur[k+i+1] ).
+        // Requires k ∈ [0, m): all loads land in [k, k + kLanes] ⊆
+        // [0, m + kLanes − 1] = [0, m_last] — final memory, in-span.
+        if (i + kLanes <= len && k >= 0 && k < m) {
+          const Ticks d = m - k;
+          const typename V::Reg pv = V::load(prev.data() + (k + 1));
+          const typename V::Reg cv = V::load(cur.data() + (k + 1));
+          const typename V::Reg sv = V::sub(pv, cv);
+          probes += static_cast<std::size_t>(kLanes);
+          if (V::count_lt(sv, d) == 0 && V::leading_le(sv, d) >= kLanes - 1) {
+            const typename V::Reg a = V::add(V::set1(m - k - 1), cv);
+            V::store(x + i, V::max(V::load(prev.data() + k), a));
+            k += kLanes - 1;
+            i += kLanes;
+            continue;
+          }
+        }
+      }
+      ++probes;
+      const Ticks a = (m - (k + 1)) + cur[static_cast<std::size_t>(k + 1)];
+      x[i] = std::max(k >= 0 ? prev[static_cast<std::size_t>(k)] : kLow, a);
+      ++i;
+    }
+
+    // Phase 2: prefix-max carry merge x → cur[t0, t1).
+    Ticks carry = cur[static_cast<std::size_t>(t0 - 1)];
+    int j = 0;
+    if constexpr (kLanes > 1) {
+      for (; j + kLanes <= len; j += kLanes) {
+        typename V::Reg v = V::prefix_max(V::load(x + j));
+        v = V::max(v, V::set1(carry));
+        V::store(cur.data() + (t0 + j), v);
+        carry = V::last_lane(v);
+      }
+    }
+    for (; j < len; ++j) {
+      carry = std::max(carry, x[j]);
+      cur[static_cast<std::size_t>(t0 + j)] = carry;
+    }
+  }
+
+  if (steps != nullptr) *steps += probes + static_cast<std::size_t>(hi - lo);
+}
+
+// Per-ISA entry points; each is defined in a TU compiled with that ISA
+// enabled (see CMakeLists: fast_solver_avx2.cpp gets -mavx2). Declared
+// unconditionally so the dispatcher can reference them behind the
+// NOWSCHED_HAVE_* macros without including intrinsics headers.
+void fill_range_avx2(std::span<Ticks> cur, std::span<const Ticks> prev,
+                     Ticks lo, Ticks hi, Ticks c, std::size_t* steps);
+void fill_range_neon(std::span<Ticks> cur, std::span<const Ticks> prev,
+                     Ticks lo, Ticks hi, Ticks c, std::size_t* steps);
+
+}  // namespace nowsched::solver::detail

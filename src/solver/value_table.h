@@ -36,12 +36,45 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "core/types.h"
 
 namespace nowsched::solver {
+
+/// Alignment of every owning slab. 64 bytes = one cache line = two full
+/// AVX2 vectors of Ticks, so the SIMD kernels' full-width level accesses
+/// never straddle a line and the level stride keeps whatever alignment the
+/// base has. (Mapped-store views are page-aligned by mmap, which is
+/// stricter.)
+inline constexpr std::size_t kSlabAlignment = 64;
+
+/// Minimal aligned allocator for the slab vector. Stateless: all instances
+/// are interchangeable, so vector moves/swaps behave exactly as with
+/// std::allocator.
+template <class T>
+struct SlabAllocator {
+  using value_type = T;
+  SlabAllocator() = default;
+  template <class U>
+  SlabAllocator(const SlabAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSlabAlignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kSlabAlignment});
+  }
+  template <class U>
+  friend bool operator==(const SlabAllocator&, const SlabAllocator<U>&) noexcept {
+    return true;
+  }
+};
+
+/// The owning storage type for a level-major table slab.
+using TableSlab = std::vector<Ticks, SlabAllocator<Ticks>>;
 
 class ValueTable {
  public:
@@ -110,7 +143,8 @@ class ValueTable {
   int max_p_;
   Ticks max_l_;
   Params params_;
-  std::vector<Ticks> owned_;         // level-major: data()[p * stride() + L]
+  TableSlab owned_;                  // level-major: data()[p * stride() + L],
+                                     // kSlabAlignment-aligned base
   const Ticks* view_data_ = nullptr; // non-null IFF this is a view
   std::shared_ptr<const void> keepalive_;  // pins a view's backing storage
 };

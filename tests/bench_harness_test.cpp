@@ -123,6 +123,12 @@ TEST(Runner, EmittersRoundTripASampleRecord) {
   EXPECT_NE(json.find("\"csv\": \"table2.csv\""), std::string::npos);
   EXPECT_NE(json.find("\"csv_rows\": " + std::to_string(result.csv_rows)),
             std::string::npos);
+  // Host-class stamp: "<threads>t-<isa>", the key compare_baselines.py uses
+  // to refuse cross-machine ratio comparisons.
+  EXPECT_NE(json.find("\"host_class\": \"" + host_class() + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"host_threads\": "), std::string::npos);
+  EXPECT_NE(host_class().find("t-"), std::string::npos);
 
   // Markdown section: heading, artifact pointers, and a pipe-table row.
   EXPECT_EQ(result.markdown.rfind("## E2 — ", 0), 0u) << result.markdown;

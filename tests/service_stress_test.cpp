@@ -239,7 +239,8 @@ TEST(SchedulerServiceStress, ShutdownCancelRacingSubmittersLosesNoJob) {
     submitters.emplace_back([&service, &accepted, &tickets, t] {
       // Assemble via append rather than operator+: string concatenation of
       // a literal with std::to_string trips a GCC 12 -Wrestrict false
-      // positive (GCC bug 105651) when inlined under -O2.
+      // positive (GCC bug 105651) when inlined under -O2. Retested on GCC
+      // 12.2: still fires — keep until the toolchain reaches GCC 13.
       std::string tenant = "t";
       tenant += std::to_string(t);
       for (int i = 0; i < 30; ++i) {

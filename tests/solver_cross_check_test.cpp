@@ -144,8 +144,13 @@ TEST(CrossCheckParallel, PlanWavefrontDeclinesDegenerateGrids) {
   EXPECT_FALSE(plan_wavefront(3, 1 << 14, Params{256}, nullptr).engage);
   // Two blocks cannot fill a pipeline.
   EXPECT_FALSE(plan_wavefront(3, 512, Params{256}, &pool).engage);
-  // Reasons are always set.
-  EXPECT_STRNE(plan_wavefront(3, 1 << 14, Params{256}, &pool).reason, "");
+  // Reasons are always set, and (once the plan got far enough to calibrate)
+  // name the scan-step calibration source.
+  EXPECT_FALSE(plan_wavefront(3, 1 << 14, Params{256}, nullptr).reason.empty());
+  const auto planned = plan_wavefront(3, 1 << 14, Params{256}, &pool);
+  EXPECT_NE(planned.reason.find("scan-step"), std::string::npos)
+      << planned.reason;
+  EXPECT_NE(planned.calibration.generation, 0u);
 }
 
 TEST(FastSolver, LargeGridSelfConsistency) {

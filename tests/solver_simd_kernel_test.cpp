@@ -1,0 +1,355 @@
+// SIMD-vs-scalar kernel battery: every compiled level-fill kernel must be
+// bit-identical to the scalar two-pointer kernel (and to the legacy binary
+// search) on generated scenarios, adversarial partial ranges, odd tails and
+// vector-unfriendly c values — plus the dispatch, calibration and cost-model
+// contracts of solver/fast_solver.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scenario_gen.h"
+#include "solver/fast_solver.h"
+#include "solver/reference_solver.h"
+#include "util/parse.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nowsched::solver {
+namespace {
+
+/// Restores the un-forced dispatch state however a test exits.
+struct KernelForceGuard {
+  ~KernelForceGuard() { clear_forced_solver_kernel(); }
+};
+
+int fuzz_cases(int fallback) {
+  const char* env = std::getenv("NOWSCHED_FUZZ_CASES");
+  if (env == nullptr || *env == '\0') return fallback;
+  const auto v = util::parse_int64(env);
+  if (!v || *v < 1 || *v > std::numeric_limits<int>::max()) {
+    throw std::runtime_error(
+        "NOWSCHED_FUZZ_CASES must be a positive int-range integer, got '" +
+        std::string(env) + "'");
+  }
+  return static_cast<int>(*v);
+}
+
+/// Fills one level over [lo, hi) with `kernel` on a fresh copy of `cur0`,
+/// returning the filled level.
+std::vector<Ticks> fill_with(SolverKernel kernel, const std::vector<Ticks>& cur0,
+                             const std::vector<Ticks>& prev, Ticks lo, Ticks hi,
+                             Ticks c) {
+  std::vector<Ticks> cur = cur0;
+  run_fill_kernel(kernel, cur, prev, lo, hi, c);
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch registry
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, NamesRoundTrip) {
+  for (SolverKernel k : {SolverKernel::kLegacy, SolverKernel::kScalar,
+                         SolverKernel::kAvx2, SolverKernel::kNeon}) {
+    const auto back = solver_kernel_from_name(solver_kernel_name(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(solver_kernel_from_name("").has_value());
+  EXPECT_FALSE(solver_kernel_from_name("avx512").has_value());
+  EXPECT_FALSE(solver_kernel_from_name("Scalar").has_value());
+}
+
+TEST(KernelDispatch, PortableKernelsAlwaysSupported) {
+  EXPECT_TRUE(solver_kernel_supported(SolverKernel::kLegacy));
+  EXPECT_TRUE(solver_kernel_supported(SolverKernel::kScalar));
+  const auto supported = supported_solver_kernels();
+  EXPECT_GE(supported.size(), 2u);
+  for (SolverKernel k : supported) EXPECT_TRUE(solver_kernel_supported(k));
+}
+
+TEST(KernelDispatch, AutoNeverPicksLegacy) {
+  KernelForceGuard guard;
+  clear_forced_solver_kernel();
+  EXPECT_NE(active_solver_kernel(), SolverKernel::kLegacy);
+}
+
+TEST(KernelDispatch, ForceAndClear) {
+  KernelForceGuard guard;
+  for (SolverKernel k : supported_solver_kernels()) {
+    force_solver_kernel(k);
+    EXPECT_EQ(active_solver_kernel(), k);
+  }
+  clear_forced_solver_kernel();
+  EXPECT_NE(active_solver_kernel(), SolverKernel::kLegacy);
+}
+
+TEST(KernelDispatch, ForcingUnsupportedKernelThrows) {
+  KernelForceGuard guard;
+  for (SolverKernel k : {SolverKernel::kAvx2, SolverKernel::kNeon}) {
+    if (!solver_kernel_supported(k)) {
+      EXPECT_THROW(force_solver_kernel(k), std::invalid_argument);
+      EXPECT_THROW(
+          run_fill_kernel(k, std::span<Ticks>{}, std::span<const Ticks>{}, 1, 1, 1),
+          std::invalid_argument);
+    }
+  }
+}
+
+TEST(KernelDispatch, EnvValueParsing) {
+  std::string warning;
+  EXPECT_FALSE(solver_kernel_from_env_value(nullptr, &warning).has_value());
+  EXPECT_TRUE(warning.empty());
+  EXPECT_FALSE(solver_kernel_from_env_value("auto", &warning).has_value());
+  EXPECT_TRUE(warning.empty());
+
+  const auto scalar = solver_kernel_from_env_value("scalar", &warning);
+  ASSERT_TRUE(scalar.has_value());
+  EXPECT_EQ(*scalar, SolverKernel::kScalar);
+  EXPECT_TRUE(warning.empty());
+
+  EXPECT_FALSE(solver_kernel_from_env_value("", &warning).has_value());
+  EXPECT_NE(warning.find("empty"), std::string::npos);
+  EXPECT_FALSE(solver_kernel_from_env_value("sse9", &warning).has_value());
+  EXPECT_NE(warning.find("not a known kernel"), std::string::npos);
+
+  // Whichever of the SIMD kernels this host cannot run must warn, not pin.
+  for (SolverKernel k : {SolverKernel::kAvx2, SolverKernel::kNeon}) {
+    if (!solver_kernel_supported(k)) {
+      EXPECT_FALSE(
+          solver_kernel_from_env_value(solver_kernel_name(k), &warning).has_value());
+      EXPECT_NE(warning.find("cannot run"), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferential, GeneratedScenariosBitIdenticalAcrossKernels) {
+  // NOWSCHED_FUZZ_CASES generated scenarios; per scenario, each supported
+  // kernel (plus legacy) builds every level over the same inputs and must
+  // match the scalar build entry-for-entry. The domain spans c values that
+  // are not multiples of any vector width and lifespans with odd tails.
+  sim::ScenarioDomain domain;
+  domain.min_c = 1;
+  domain.max_c = 49;
+  domain.min_lifespan = 3;
+  domain.max_lifespan = 301;
+  domain.max_interrupts = 3;
+  sim::ScenarioGenerator gen(domain, 0x51D3);
+
+  const int cases = fuzz_cases(200);
+  for (int i = 0; i < cases; ++i) {
+    const sim::ScenarioSpec spec = gen.next();
+    const Ticks n = spec.lifespan;
+    const Ticks c = spec.params.c;
+    std::vector<Ticks> prev(static_cast<std::size_t>(n) + 1);
+    for (Ticks l = 0; l <= n; ++l) {
+      prev[static_cast<std::size_t>(l)] = positive_sub(l, c);
+    }
+    const std::vector<Ticks> zero(static_cast<std::size_t>(n) + 1, 0);
+    const int max_q = std::max(1, spec.max_interrupts);
+    for (int q = 1; q <= max_q; ++q) {
+      const auto scalar = fill_with(SolverKernel::kScalar, zero, prev, 1, n + 1, c);
+      const auto legacy = fill_with(SolverKernel::kLegacy, zero, prev, 1, n + 1, c);
+      ASSERT_EQ(scalar, legacy) << "case " << i << " q=" << q << " c=" << c;
+      for (SolverKernel k : supported_solver_kernels()) {
+        if (k == SolverKernel::kScalar || k == SolverKernel::kLegacy) continue;
+        const auto vec = fill_with(k, zero, prev, 1, n + 1, c);
+        ASSERT_EQ(scalar, vec)
+            << "case " << i << " q=" << q << " c=" << c << " kernel "
+            << solver_kernel_name(k);
+      }
+      prev = scalar;
+    }
+  }
+}
+
+TEST(KernelDifferential, SyntheticMonotoneTablesAndPartialRanges) {
+  // Random non-decreasing prev tables (arbitrary step sizes — prev need not
+  // be Lipschitz) and wavefront-shaped partial [lo, hi) ranges, including
+  // single-lifespan ranges and tails not divisible by any vector width.
+  util::Rng rng(0xB10C);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Ticks n = rng.uniform_int(2, 400);
+    const Ticks c = rng.uniform_int(1, 60);
+    std::vector<Ticks> prev(static_cast<std::size_t>(n) + 1, 0);
+    for (Ticks l = 1; l <= n; ++l) {
+      prev[static_cast<std::size_t>(l)] =
+          prev[static_cast<std::size_t>(l - 1)] + rng.uniform_int(0, 3);
+    }
+    // Blockwise fill with ragged block boundaries: every kernel must agree
+    // with the legacy scan under the same partial-range call pattern.
+    std::vector<std::vector<Ticks>> levels;
+    levels.push_back(
+        fill_with(SolverKernel::kLegacy,
+                  std::vector<Ticks>(static_cast<std::size_t>(n) + 1, 0), prev,
+                  1, n + 1, c));
+    for (SolverKernel k : supported_solver_kernels()) {
+      if (k == SolverKernel::kLegacy) continue;
+      std::vector<Ticks> cur(static_cast<std::size_t>(n) + 1, 0);
+      Ticks lo = 1;
+      while (lo <= n) {
+        const Ticks hi = std::min<Ticks>(n + 1, lo + rng.uniform_int(1, c));
+        run_fill_kernel(k, cur, prev, lo, hi, c);
+        lo = hi;
+      }
+      ASSERT_EQ(levels.front(), cur)
+          << "iter " << iter << " c=" << c << " n=" << n << " kernel "
+          << solver_kernel_name(k);
+    }
+  }
+}
+
+TEST(KernelDifferential, ForcedDispatchSolvesMatchReference) {
+  // Whole-solve path: force each supported kernel through the public
+  // dispatcher (sequential AND forced-wavefront on an oversubscribed pool)
+  // and demand bit-identity with the O(P·N²) oracle.
+  KernelForceGuard guard;
+  util::ThreadPool pool(4);
+  const Params params{13};
+  const int max_p = 3;
+  const Ticks n = 400;
+  const auto ref = solve_reference(max_p, n, params);
+  for (SolverKernel k : supported_solver_kernels()) {
+    force_solver_kernel(k);
+    const auto seq = solve_fast(max_p, n, params, nullptr,
+                                ParallelMode::kForceSequential);
+    const auto wave = solve_fast(max_p, n, params, &pool,
+                                 ParallelMode::kForceWavefront);
+    ASSERT_TRUE(std::equal(seq.slab().begin(), seq.slab().end(),
+                           ref.slab().begin()))
+        << "sequential kernel " << solver_kernel_name(k);
+    ASSERT_TRUE(std::equal(wave.slab().begin(), wave.slab().end(),
+                           ref.slab().begin()))
+        << "wavefront kernel " << solver_kernel_name(k);
+  }
+}
+
+TEST(KernelDifferential, DegenerateGrids) {
+  // c = 1, c >= n, n = 1 — the boundary geometries where blocked scans
+  // historically break.
+  for (const auto& [n, c] : std::vector<std::pair<Ticks, Ticks>>{
+           {1, 1}, {1, 5}, {2, 1}, {3, 7}, {7, 7}, {8, 7}, {9, 2}, {257, 1},
+           {300, 299}, {300, 300}, {300, 301}}) {
+    std::vector<Ticks> prev(static_cast<std::size_t>(n) + 1);
+    for (Ticks l = 0; l <= n; ++l) {
+      prev[static_cast<std::size_t>(l)] = positive_sub(l, c);
+    }
+    const std::vector<Ticks> zero(static_cast<std::size_t>(n) + 1, 0);
+    const auto legacy = fill_with(SolverKernel::kLegacy, zero, prev, 1, n + 1, c);
+    for (SolverKernel k : supported_solver_kernels()) {
+      if (k == SolverKernel::kLegacy) continue;
+      ASSERT_EQ(legacy, fill_with(k, zero, prev, 1, n + 1, c))
+          << "n=" << n << " c=" << c << " kernel " << solver_kernel_name(k);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slab alignment
+// ---------------------------------------------------------------------------
+
+TEST(ValueTableSlab, OwningSlabIsVectorAligned) {
+  for (const auto& [p, n] : std::vector<std::pair<int, Ticks>>{
+           {0, 0}, {1, 7}, {3, 1000}, {5, 4097}}) {
+    const ValueTable table(p, n, Params{8});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(table.slab().data()) %
+                  kSlabAlignment,
+              0u)
+        << "p=" << p << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model + calibration
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, ModeledStepsTrackCountedSteps) {
+  // The model must predict the kernels' actual probe counters within a
+  // small constant factor — this is what pins the "log2(l − c), not
+  // log2(table size)" fix. Synthetic tables, deterministic counts.
+  for (const auto& [n, c] : std::vector<std::pair<Ticks, Ticks>>{
+           {1 << 12, 64}, {1 << 12, 1024}, {5000, 7}, {300, 120}}) {
+    std::vector<Ticks> prev(static_cast<std::size_t>(n) + 1);
+    for (Ticks l = 0; l <= n; ++l) {
+      prev[static_cast<std::size_t>(l)] = positive_sub(l, c);
+    }
+    for (SolverKernel k : {SolverKernel::kLegacy, SolverKernel::kScalar}) {
+      std::vector<Ticks> cur(static_cast<std::size_t>(n) + 1, 0);
+      std::size_t counted = 0;
+      run_fill_kernel(k, cur, prev, 1, n + 1, c, &counted);
+      const double modeled = modeled_scan_steps(k, c, 1, n + 1);
+      ASSERT_GT(counted, 0u);
+      EXPECT_GT(static_cast<double>(counted), modeled / 3.0)
+          << "n=" << n << " c=" << c << " kernel " << solver_kernel_name(k);
+      EXPECT_LT(static_cast<double>(counted), modeled * 3.0)
+          << "n=" << n << " c=" << c << " kernel " << solver_kernel_name(k);
+    }
+  }
+}
+
+TEST(CostModel, LegacyModelReflectsSearchRangeNotTableSize) {
+  // With c close to N the scans search tiny [c, l] ranges: the fixed model
+  // must charge far fewer steps than the old kN·log2(kN) formula did, while
+  // still upper-bounding the constant-step kernels.
+  const Ticks n = 1 << 14;
+  const double wide = modeled_scan_steps(SolverKernel::kLegacy, 16, 1, n + 1);
+  const double narrow =
+      modeled_scan_steps(SolverKernel::kLegacy, n - 64, 1, n + 1);
+  const double old_model =
+      static_cast<double>(n) * std::log2(static_cast<double>(n));
+  EXPECT_LT(narrow, 0.5 * old_model);
+  EXPECT_LT(narrow, wide);
+  EXPECT_GT(modeled_scan_steps(SolverKernel::kLegacy, 16, 1, n + 1),
+            modeled_scan_steps(SolverKernel::kScalar, 16, 1, n + 1));
+  EXPECT_EQ(modeled_scan_steps(SolverKernel::kScalar, 16, 5, 5), 0.0);
+}
+
+TEST(Calibration, ClampedRecalibratableAndKernelTagged) {
+  KernelForceGuard guard;
+  const ScanCalibration first = scan_calibration();
+  EXPECT_GT(first.generation, 0u);
+  EXPECT_GE(first.step_ns, 0.05);
+  EXPECT_LE(first.step_ns, 25.0);
+  const std::string source = first.source;
+  EXPECT_TRUE(source == "measured" || source == "clamped-low" ||
+              source == "clamped-high")
+      << source;
+  EXPECT_EQ(first.kernel, active_solver_kernel());
+
+  // Explicit recalibration bumps the generation; a cached read does not.
+  EXPECT_EQ(scan_calibration().generation, first.generation);
+  const ScanCalibration redo = recalibrate_scan_cost();
+  EXPECT_GT(redo.generation, first.generation);
+
+  // Switching the active kernel re-measures under the new kernel.
+  force_solver_kernel(SolverKernel::kLegacy);
+  const ScanCalibration legacy = scan_calibration();
+  EXPECT_EQ(legacy.kernel, SolverKernel::kLegacy);
+  EXPECT_GT(legacy.generation, redo.generation);
+}
+
+TEST(Calibration, PlanWavefrontReportsCalibrationSource) {
+  util::ThreadPool pool(4);
+  const WavefrontPlan plan = plan_wavefront(3, 1 << 14, Params{256}, &pool);
+  EXPECT_NE(plan.calibration.generation, 0u);
+  EXPECT_NE(plan.reason.find(plan.calibration.source), std::string::npos)
+      << plan.reason;
+  EXPECT_NE(plan.reason.find(solver_kernel_name(plan.calibration.kernel)),
+            std::string::npos)
+      << plan.reason;
+  EXPECT_GT(plan.cell_ns_estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace nowsched::solver

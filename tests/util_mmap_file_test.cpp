@@ -182,7 +182,8 @@ TEST(AtomicWriteFile, ConcurrentWritersWithDistinctTagsPublishCompleteContent) {
   }
   // Tags built with append rather than operator+ to sidestep a GCC 12
   // -Wrestrict false positive (GCC bug 105651) when the concatenation is
-  // inlined into the thread lambda under -O2.
+  // inlined into the thread lambda under -O2. Retested on GCC 12.2: still
+  // fires — keep until the toolchain reaches GCC 13.
   std::vector<std::string> tags;
   tags.reserve(kWriters);
   for (int w = 0; w < kWriters; ++w) {
